@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (in quick
+mode — smaller request counts, fewer sweep points) inside the timed
+region, asserts the paper's qualitative shape, and attaches the headline
+numbers to ``benchmark.extra_info`` so they appear in
+``pytest benchmarks/ --benchmark-only --benchmark-verbose`` output and in
+saved benchmark JSON.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole experiment exactly once inside the timed region.
+
+    pytest-benchmark's default calibration would re-run these multi-second
+    simulations many times; one round is both sufficient and honest here
+    (the simulations are deterministic).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

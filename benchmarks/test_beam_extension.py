@@ -1,0 +1,68 @@
+"""Bench: beam-search decoding extension (branching dynamic cell graphs)."""
+
+from benchmarks.conftest import run_once
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.models.beam_seq2seq import BeamSeq2SeqModel
+from repro.models.seq2seq import Seq2SeqModel
+from repro.workload import LoadGenerator, Seq2SeqDataset
+
+
+class _BeamDataset:
+    """Seq2Seq pairs re-shaped into beam payloads."""
+
+    def __init__(self, seed=5):
+        self._inner = Seq2SeqDataset(seed=seed)
+
+    def sample_one(self):
+        pair = self._inner.sample_one()
+        return {"src": pair["src"], "max_steps": pair["tgt_len"]}
+
+
+def _run_beam(beam_width, rate=800, num_requests=1200):
+    model = BeamSeq2SeqModel(beam_width=beam_width)
+    server = BatchMakerServer(
+        model,
+        config=BatchingConfig.with_max_batch(
+            512,
+            per_cell_max={"bs_decoder": 256},
+            per_cell_priority={"bs_decoder": 1, "bs_select": 2,
+                               "bs_select_first": 2},
+        ),
+        num_gpus=2,
+        name=f"Beam-{beam_width}",
+    )
+    generator = LoadGenerator(rate=rate, num_requests=num_requests, seed=5)
+    return generator.run(server, _BeamDataset()).summary
+
+
+def _run_greedy(rate=800, num_requests=1200):
+    server = BatchMakerServer(
+        Seq2SeqModel(),
+        config=BatchingConfig.with_max_batch(
+            512, per_cell_max={"decoder": 256}, per_cell_priority={"decoder": 1}
+        ),
+        num_gpus=2,
+        name="Greedy",
+    )
+    generator = LoadGenerator(rate=rate, num_requests=num_requests, seed=5)
+    return generator.run(server, Seq2SeqDataset(seed=5)).summary
+
+
+def test_beam_search_serving(benchmark):
+    def run():
+        return {
+            "greedy": _run_greedy(),
+            "beam2": _run_beam(2),
+            "beam4": _run_beam(4),
+        }
+
+    results = run_once(benchmark, run)
+    # Wider beams do strictly more decode work, so latency grows with k,
+    # but cellular batching keeps the k-fold work amplification from
+    # turning into a k-fold latency amplification (beams batch together).
+    assert results["greedy"].p90_ms < results["beam2"].p90_ms
+    assert results["beam2"].p90_ms < results["beam4"].p90_ms
+    assert results["beam4"].p90_ms < 4 * results["greedy"].p90_ms
+    for name, summary in results.items():
+        benchmark.extra_info[f"{name}_p90_ms"] = round(summary.p90_ms, 2)
+        benchmark.extra_info[f"{name}_req_s"] = round(summary.throughput)

@@ -1,0 +1,18 @@
+"""Bench: Figure 10 — the WMT-15-like sequence-length CDF."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_length_cdf
+
+
+def test_fig10_length_distribution(benchmark):
+    result = run_once(benchmark, fig10_length_cdf.run, quick=False)
+
+    # The three statistics the paper publishes for its dataset.
+    assert abs(result["mean"] - 24) < 1.5
+    assert result["max"] == 330
+    assert result["cdf"][100] > 0.985
+
+    benchmark.extra_info["mean_length"] = round(result["mean"], 1)
+    benchmark.extra_info["p99_length"] = round(result["p99"], 1)
+    benchmark.extra_info["max_length"] = result["max"]
+    benchmark.extra_info["fraction_below_100"] = round(result["cdf"][100], 4)

@@ -1,0 +1,33 @@
+"""Bench: Figure 11 — sensitivity to sequence-length variance."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import common, fig11_variance
+
+
+def test_fig11_length_variance(benchmark):
+    results = run_once(benchmark, fig11_variance.run, quick=True)
+
+    fixed = results["fixed length 24"]
+    clip100 = results["max length 100"]
+
+    # With zero variance the padding baseline matches/beats BatchMaker
+    # (no padding waste, perfect batches; BatchMaker pays per-task
+    # overhead — paper: ~87% of the analytic maximum).
+    fixed_bm = common.peak_throughput(fixed["BatchMaker"])
+    fixed_mx = common.peak_throughput(fixed["MXNet"])
+    assert fixed_mx > 0.9 * fixed_bm
+    assert fixed_bm > 0.75 * fig11_variance.ANALYTIC_MAX_FIXED24
+
+    # With variance, the baselines degrade sharply; BatchMaker does not.
+    var_bm = common.peak_throughput(clip100["BatchMaker"])
+    var_mx = common.peak_throughput(clip100["MXNet"])
+    assert var_bm > var_mx
+    bm_degradation = fixed_bm / var_bm
+    mx_degradation = fixed_mx / var_mx
+    assert mx_degradation > bm_degradation
+
+    benchmark.extra_info["fixed_bm_fraction_of_analytic"] = round(
+        fixed_bm / fig11_variance.ANALYTIC_MAX_FIXED24, 2
+    )
+    benchmark.extra_info["clip100_bm_peak"] = round(var_bm)
+    benchmark.extra_info["clip100_mxnet_peak"] = round(var_mx)

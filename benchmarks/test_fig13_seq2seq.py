@@ -1,0 +1,38 @@
+"""Bench: Figure 13 — Seq2Seq on 2 and 4 GPUs."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import common, fig13_seq2seq
+
+
+def test_fig13a_seq2seq_2gpus(benchmark):
+    results = run_once(benchmark, fig13_seq2seq.run, quick=True, num_gpus=2)
+
+    bm = results["BatchMaker-512,256"]
+    mxnet = results["MXNet"]
+    for bm_point, mx_point in zip(bm, mxnet):
+        assert bm_point.p90_ms < mx_point.p90_ms
+    bm_peak = common.peak_throughput(bm)
+    base_peak = max(
+        common.peak_throughput(mxnet),
+        common.peak_throughput(results["TensorFlow"]),
+    )
+    assert bm_peak > base_peak  # paper: +60%
+    # Per-cell-type batch sizing (512,256) helps a little over (256,256).
+    alt_peak = common.peak_throughput(results["BatchMaker-256,256"])
+    assert bm_peak >= 0.97 * alt_peak
+    benchmark.extra_info["bm512_256_peak"] = round(bm_peak)
+    benchmark.extra_info["bm256_256_peak"] = round(alt_peak)
+    benchmark.extra_info["baseline_peak"] = round(base_peak)
+
+
+def test_fig13b_seq2seq_4gpus(benchmark):
+    results = run_once(benchmark, fig13_seq2seq.run, quick=True, num_gpus=4)
+
+    bm_peak = common.peak_throughput(results["BatchMaker-512,256"])
+    base_peak = max(
+        common.peak_throughput(results["MXNet"]),
+        common.peak_throughput(results["TensorFlow"]),
+    )
+    assert bm_peak > base_peak
+    benchmark.extra_info["bm_peak_4gpu"] = round(bm_peak)
+    benchmark.extra_info["baseline_peak_4gpu"] = round(base_peak)

@@ -1,0 +1,24 @@
+"""Bench: Figure 14 — TreeLSTM vs DyNet and TensorFlow Fold."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import common, fig14_treelstm
+
+
+def test_fig14_treelstm(benchmark):
+    results = run_once(benchmark, fig14_treelstm.run, quick=True)
+
+    bm_peak = common.peak_throughput(results["BatchMaker"])
+    dynet_peak = common.peak_throughput(results["DyNet"])
+    fold_peak = common.peak_throughput(results["TF Fold"], latency_cap_ms=3000)
+
+    # Paper: BatchMaker ~1.8x DyNet and ~4x TF Fold.
+    assert 1.2 < bm_peak / dynet_peak < 2.6
+    assert 2.5 < bm_peak / fold_peak < 6.0
+    # At moderate load BatchMaker's p90 beats DyNet's (paper: -28%).
+    assert results["BatchMaker"][0].p90_ms < results["DyNet"][0].p90_ms
+
+    benchmark.extra_info["bm_peak"] = round(bm_peak)
+    benchmark.extra_info["dynet_peak"] = round(dynet_peak)
+    benchmark.extra_info["fold_peak"] = round(fold_peak)
+    benchmark.extra_info["bm_over_dynet"] = round(bm_peak / dynet_peak, 2)
+    benchmark.extra_info["bm_over_fold"] = round(bm_peak / fold_peak, 2)

@@ -1,0 +1,21 @@
+"""Bench: Figure 3 — single LSTM step latency/throughput across batch sizes."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_microbench
+
+
+def test_fig3_microbenchmark(benchmark):
+    result = run_once(benchmark, fig3_microbench.run, quick=False, measure_numpy=True)
+
+    gpu = dict((b, t) for b, t, _ in result["gpu"])
+    # Pinned calibration points (§7.3) and the shape claims of §2.2.
+    assert abs(gpu[64] - 185e-6) / 185e-6 < 0.01
+    assert abs(gpu[512] - 784e-6) / 784e-6 < 0.01
+    assert result["gpu_best_batch"] == 512
+    # The measured host NumPy curve shows the same flat->rising shape.
+    numpy_points = result["numpy"]
+    assert numpy_points[-1][2] > numpy_points[0][2]  # throughput grows w/ batch
+
+    benchmark.extra_info["gpu_us_at_64"] = round(gpu[64] * 1e6, 1)
+    benchmark.extra_info["gpu_us_at_512"] = round(gpu[512] * 1e6, 1)
+    benchmark.extra_info["gpu_peak_ops_per_s"] = round(512 / gpu[512])

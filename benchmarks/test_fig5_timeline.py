@@ -1,0 +1,23 @@
+"""Bench: Figure 5 — the 8-request join/leave timeline."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_timeline
+
+
+def test_fig5_timeline(benchmark):
+    result = run_once(benchmark, fig5_timeline.run)
+    graph, cellular = result["graph"], result["cellular"]
+
+    # Paper timeline: graph batching finishes batch 1 at t=5 and batch 2 at
+    # t=12; cellular batching returns req1 at t=2 and finishes everything
+    # earlier, with joins at task boundaries.
+    assert graph["req4"][2] == 5.0
+    assert graph["req6"][2] == 12.0
+    assert cellular["req1"][2] == 2.0
+    assert max(t for _, _, t in cellular.values()) < 12.0
+
+    graph_mean = sum(f - a for a, _, f in graph.values()) / 8
+    cellular_mean = sum(f - a for a, _, f in cellular.values()) / 8
+    assert cellular_mean < graph_mean
+    benchmark.extra_info["graph_mean_latency"] = round(graph_mean, 2)
+    benchmark.extra_info["cellular_mean_latency"] = round(cellular_mean, 2)

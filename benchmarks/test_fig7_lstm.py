@@ -1,0 +1,38 @@
+"""Bench: Figure 7 — LSTM latency vs throughput, BatchMaker vs padding."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import common, fig7_lstm
+
+
+def test_fig7a_lstm_bmax512(benchmark):
+    results = run_once(benchmark, fig7_lstm.run, quick=True, max_batch=512)
+
+    bm = results["BatchMaker"]
+    mxnet = results["MXNet"]
+    # BatchMaker's p90 stays low and nearly flat at low-to-moderate load...
+    assert bm[0].p90_ms < 15
+    # ...and beats the padding baselines at every common load point.
+    for bm_point, mx_point in zip(bm, mxnet):
+        assert bm_point.p90_ms < mx_point.p90_ms
+    # Peak throughput improvement (paper: +25%).
+    bm_peak = common.peak_throughput(bm)
+    base_peak = max(
+        common.peak_throughput(mxnet), common.peak_throughput(results["TensorFlow"])
+    )
+    assert bm_peak > base_peak
+    benchmark.extra_info["bm_peak_req_s"] = round(bm_peak)
+    benchmark.extra_info["baseline_peak_req_s"] = round(base_peak)
+    benchmark.extra_info["bm_p90_low_load_ms"] = round(bm[0].p90_ms, 2)
+    benchmark.extra_info["mxnet_p90_low_load_ms"] = round(mxnet[0].p90_ms, 2)
+
+
+def test_fig7b_lstm_bmax64(benchmark):
+    results = run_once(benchmark, fig7_lstm.run, quick=True, max_batch=64)
+
+    bm = results["BatchMaker"]
+    # bmax=64 keeps low-load latency low but caps peak throughput below the
+    # bmax=512 configuration's (the paper's argument for picking 512).
+    assert bm[0].p90_ms < 15
+    bm_peak64 = common.peak_throughput(bm)
+    benchmark.extra_info["bm_peak_req_s_bmax64"] = round(bm_peak64)
+    assert bm_peak64 < 512 / (24 * 784e-6)  # short of the bmax-512 regime

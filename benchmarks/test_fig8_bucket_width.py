@@ -1,0 +1,23 @@
+"""Bench: Figure 8 — the bucket-width trade-off for the padding baseline."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import common, fig8_bucket_width
+
+
+def test_fig8_bucket_width_tradeoff(benchmark):
+    results = run_once(benchmark, fig8_bucket_width.run, quick=True)
+
+    low_load_p90 = {w: results[w][0].p90_ms for w in results}
+    peaks = {w: common.peak_throughput(results[w]) for w in results}
+
+    # Coarse buckets wait behind fewer buckets: better low-load latency than
+    # the finest bucketing (paper: bw 40 best at low load, bw 1 worst).
+    assert low_load_p90["bw 40"] < low_load_p90["bw 1"]
+    # Width 10 is a good compromise: close to the best on both axes.
+    assert low_load_p90["bw 10"] <= 1.5 * min(low_load_p90.values())
+    assert peaks["bw 10"] >= 0.7 * max(peaks.values())
+
+    for width, value in low_load_p90.items():
+        benchmark.extra_info[f"{width}_low_load_p90_ms"] = round(value, 1)
+    for width, value in peaks.items():
+        benchmark.extra_info[f"{width}_peak_req_s"] = round(value)

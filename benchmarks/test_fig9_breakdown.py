@@ -1,0 +1,26 @@
+"""Bench: Figure 9 — queuing vs computation time CDFs at 5K req/s."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_breakdown
+
+
+def test_fig9_latency_breakdown(benchmark):
+    results = run_once(benchmark, fig9_breakdown.run, quick=True)
+
+    bm = results["BatchMaker"]
+    mxnet = results["MXNet"]
+    # Queuing collapses under cellular batching (paper: 1.38 ms vs >100 ms
+    # at the 99th percentile).
+    assert bm["queuing"]["p99_ms"] < 10
+    assert mxnet["queuing"]["p99_ms"] > 10 * bm["queuing"]["p99_ms"]
+    # Computation time is also lower (no padding, leave-on-finish)...
+    assert bm["computation"]["p90_ms"] < mxnet["computation"]["p90_ms"]
+    # ...but queuing is the dominant factor in the total improvement.
+    queuing_gain = mxnet["queuing"]["p90_ms"] - bm["queuing"]["p90_ms"]
+    compute_gain = mxnet["computation"]["p90_ms"] - bm["computation"]["p90_ms"]
+    assert queuing_gain > compute_gain
+
+    benchmark.extra_info["bm_p99_queuing_ms"] = round(bm["queuing"]["p99_ms"], 2)
+    benchmark.extra_info["mxnet_p99_queuing_ms"] = round(
+        mxnet["queuing"]["p99_ms"], 2
+    )

@@ -1,0 +1,46 @@
+"""Bench: the §7.1 timeout claim — dispatch-on-idle vs timeout batching."""
+
+from benchmarks.conftest import run_once
+from repro.baselines import PaddedServer, TimeoutPaddedServer
+from repro.models import LSTMChainModel
+from repro.workload import LoadGenerator, SequenceDataset
+
+
+def _p90(server, rate, num_requests):
+    generator = LoadGenerator(rate=rate, num_requests=num_requests, seed=5)
+    return generator.run(server, SequenceDataset(seed=1)).summary.p90_ms
+
+
+def _run():
+    results = {}
+    for rate in (800, 3000):
+        results[("none", rate)] = _p90(
+            PaddedServer(LSTMChainModel(), bucket_width=10), rate, 3000
+        )
+        for timeout in (1e-3, 5e-3, 20e-3, 100e-3):
+            results[(timeout, rate)] = _p90(
+                TimeoutPaddedServer(
+                    LSTMChainModel(), bucket_width=10, timeout=timeout
+                ),
+                rate,
+                3000,
+            )
+    return results
+
+
+def test_no_timeout_dominates(benchmark):
+    results = run_once(benchmark, _run)
+    for rate in (800, 3000):
+        baseline = results[("none", rate)]
+        timeouts = {
+            t: v for (t, r), v in results.items() if r == rate and t != "none"
+        }
+        # No timeout configuration meaningfully beats dispatch-on-idle.
+        assert baseline <= min(timeouts.values()) * 1.10
+        benchmark.extra_info[f"rate{rate}_none_p90_ms"] = round(baseline, 1)
+        for timeout, value in timeouts.items():
+            benchmark.extra_info[
+                f"rate{rate}_to{timeout * 1e3:g}ms_p90_ms"
+            ] = round(value, 1)
+    # A long timeout clearly hurts at low load.
+    assert results[(100e-3, 800)] > 2 * results[("none", 800)]

@@ -1,0 +1,107 @@
+"""TreeLSTM sentiment classification over parse trees (real compute).
+
+Parses bracketed constituency expressions into binary trees, serves them
+through BatchMaker in real-compute mode, and classifies each sentence with
+a small sentiment head on the root representation — the application the
+paper evaluates TreeLSTM on (Stanford Sentiment TreeBank).
+
+This example demonstrates the scheduling case the paper works through in
+§4.4: each tree unfolds into one subgraph per leaf plus one subgraph of
+internal cells; leaves of many requests batch together, internal levels
+batch with whatever same-type cells are ready, and internal cells have
+priority over leaves.
+
+Run:  python examples/sentiment_treelstm.py
+"""
+
+import numpy as np
+
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.models import TreeLSTMModel, TreePayload
+from repro.models.tree_lstm import TreeNodeSpec
+from repro.tensor import ops
+
+VOCAB = [
+    "the", "movie", "was", "great", "terrible", "acting", "plot", "boring",
+    "wonderful", "a", "masterpiece", "waste", "of", "time", "not", "bad",
+]
+WORD_TO_ID = {w: i for i, w in enumerate(VOCAB)}
+
+SENTENCES = [
+    "((the movie) (was great))",
+    "((the acting) (was terrible))",
+    "((a masterpiece) (of acting))",
+    "((the plot) (was boring))",
+    "(((the movie) (was not)) bad)",
+    "((a waste) (of time))",
+]
+
+
+def parse(expression):
+    """Parse a bracketed expression into a TreeNodeSpec."""
+    tokens = expression.replace("(", " ( ").replace(")", " ) ").split()
+    position = 0
+
+    def parse_node():
+        nonlocal position
+        if tokens[position] == "(":
+            position += 1  # consume "("
+            left = parse_node()
+            right = parse_node()
+            if tokens[position] != ")":
+                raise ValueError(f"expected ')', got {tokens[position]!r}")
+            position += 1  # consume ")"
+            return TreeNodeSpec(left=left, right=right)
+        word = tokens[position]
+        position += 1
+        return TreeNodeSpec(token=WORD_TO_ID[word])
+
+    node = parse_node()
+    if position != len(tokens):
+        raise ValueError("trailing tokens in expression")
+    return node
+
+
+def main():
+    model = TreeLSTMModel(
+        hidden_dim=24, vocab_size=len(VOCAB), embed_dim=12, real=True, seed=4
+    )
+    # A small sentiment head on top of the root hidden state.
+    rng = np.random.default_rng(0)
+    head = rng.standard_normal((24, 2)).astype(np.float32) * 0.5
+
+    server = BatchMakerServer(
+        model,
+        config=BatchingConfig.with_max_batch(
+            64, per_cell_priority={"tree_internal": 1, "tree_leaf": 0}
+        ),
+        real_compute=True,
+    )
+    requests = [
+        (text, server.submit(TreePayload(parse(text)), arrival_time=i * 1e-3))
+        for i, text in enumerate(SENTENCES)
+    ]
+    server.drain()
+
+    print("\nTreeLSTM sentiment service (randomly initialised weights):\n")
+    for text, request in requests:
+        root_h = np.asarray(request.result[0])
+        probabilities = ops.softmax(root_h @ head)
+        label = "positive" if probabilities[1] > 0.5 else "negative"
+        print(
+            f"  {text:42s} -> {label} "
+            f"(p+ = {probabilities[1]:.2f}, latency {1e3 * request.latency:.2f} ms)"
+        )
+    print(
+        f"\nBatched tasks executed: {server.tasks_submitted()}, "
+        f"mean batch size: {server.mean_batch_size():.1f}"
+    )
+    print(
+        "(Weights are untrained, so labels are arbitrary — the point is "
+        "cell-level batching\nacross tree-shaped requests with "
+        "internal-over-leaf priority.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""A toy translation service: Seq2Seq with dynamic feed-previous decoding.
+
+This example runs the engine in **real-compute** mode: every batched cell
+actually executes its NumPy body, and each request's cell graph *grows*
+one decoder cell at a time until the model emits <eos> — the dynamic
+unfolding extension described in DESIGN.md (the precursor of today's
+continuous batching).  Requests arriving at different times are batched
+together at the cell level throughout.
+
+The model weights are randomly initialised (there is no trained
+checkpoint in this repository), so the "translations" are structurally
+valid but meaningless token sequences; the point is the serving behaviour,
+and that every decoded sequence is bit-identical to running the model
+directly on that request alone.
+
+Run:  python examples/translation_service.py
+"""
+
+import numpy as np
+
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.models import Seq2SeqModel
+from repro.models.seq2seq import EOS_TOKEN
+
+VOCAB = [
+    "<pad>", "<go>", "<eos>", "the", "cat", "dog", "house", "is", "big",
+    "small", "red", "sees", "a", "my", "runs", "sleeps",
+]
+WORD_TO_ID = {w: i for i, w in enumerate(VOCAB)}
+
+SENTENCES = [
+    "the cat sees a dog",
+    "my house is big",
+    "the dog sleeps",
+    "a small red house",
+    "the big dog runs",
+    "my cat is small",
+]
+
+
+def encode(sentence):
+    return [WORD_TO_ID[w] for w in sentence.split()]
+
+
+def decode(token_ids):
+    return " ".join(
+        VOCAB[t] if 0 <= t < len(VOCAB) else f"<{t}>" for t in token_ids
+    )
+
+
+def main():
+    model = Seq2SeqModel(
+        hidden_dim=32,
+        src_vocab_size=len(VOCAB),
+        tgt_vocab_size=len(VOCAB),
+        embed_dim=16,
+        real=True,
+        seed=11,
+    )
+    server = BatchMakerServer(
+        model,
+        config=BatchingConfig.with_max_batch(
+            8, per_cell_priority={"decoder": 1, "encoder": 0}
+        ),
+        real_compute=True,
+    )
+
+    # Requests trickle in over (virtual) time; decoding lengths are unknown
+    # up front — each request decodes until <eos> or the budget.
+    requests = []
+    for i, sentence in enumerate(SENTENCES):
+        payload = {
+            "src": encode(sentence),
+            "dynamic": True,
+            "max_decode": 12,
+        }
+        requests.append(
+            (sentence, payload, server.submit(payload, arrival_time=i * 1e-3))
+        )
+    server.drain()
+
+    print("\nToy translation service (randomly initialised weights):\n")
+    for sentence, payload, request in requests:
+        tokens = [int(np.asarray(t).reshape(())) for t in request.result]
+        reference = model.reference_forward(payload)
+        assert tokens == reference, "batched serving diverged from the model!"
+        shown = tokens[:-1] if tokens and tokens[-1] == EOS_TOKEN else tokens
+        stopped = "<eos>" if tokens and tokens[-1] == EOS_TOKEN else "budget"
+        print(f"  in : {sentence}")
+        print(f"  out: {decode(shown)}   (stopped by {stopped}, "
+              f"latency {1e3 * request.latency:.2f} ms)\n")
+    print(
+        "Every output above is bit-identical to evaluating the model on "
+        "that request alone,\neven though the decoder cells of different "
+        "requests were batched together."
+    )
+    print(f"\nBatched tasks executed: {server.tasks_submitted()}, "
+          f"mean batch size: {server.mean_batch_size():.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — a complete Python reproduction of *Low Latency RNN Inference
+with Cellular Batching* (Gao, Yu, Wu, Li; EuroSys 2018).
+
+Top-level entry points:
+
+* :class:`repro.core.BatchMakerServer` — the cellular-batching inference
+  server (the paper's BatchMaker).
+* :mod:`repro.models` — the servable model zoo (LSTM chain, Seq2Seq,
+  TreeLSTM, plus GRU / beam-search / attention extensions).
+* :mod:`repro.baselines` — the graph-batching comparison systems.
+* :mod:`repro.experiments` — one module per paper table/figure;
+  ``python -m repro.experiments.runner all`` regenerates the evaluation.
+
+See README.md for a quickstart, DESIGN.md for the architecture and
+substitution notes, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

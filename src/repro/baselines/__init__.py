@@ -1,0 +1,22 @@
+"""Baseline serving systems the paper compares against.
+
+All baselines implement *graph batching*: they collect a set of requests,
+fuse their dataflow graphs, execute the fused graph to completion, and only
+then start the next batch.  The three variants are:
+
+* :class:`~repro.baselines.padded.PaddedServer` — padding + length
+  bucketing + round-robin, the MXNet/TensorFlow serving policy of §7.1;
+* :class:`~repro.baselines.fold.FoldServer` — dynamic graph merging at
+  batch time, the TensorFlow Fold / DyNet policy of §7.5 (the two differ
+  only in merge overhead and whether merging overlaps execution);
+* :class:`~repro.baselines.ideal.IdealServer` — a hard-coded
+  fixed-structure executor with zero scheduling overhead, the "ideal"
+  comparator of Figure 15.
+"""
+
+from repro.baselines.fold import FoldServer
+from repro.baselines.ideal import IdealServer
+from repro.baselines.padded import PaddedServer
+from repro.baselines.timeout import TimeoutPaddedServer
+
+__all__ = ["PaddedServer", "FoldServer", "IdealServer", "TimeoutPaddedServer"]

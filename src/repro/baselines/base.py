@@ -1,0 +1,101 @@
+"""Shared machinery for graph-batching baseline servers.
+
+A graph-batching server keeps arriving requests in one or more queues.
+Whenever a device is idle it forms the next batch (subclass policy),
+executes the whole fused graph as one uninterruptible unit, and completes
+every request in the batch at the same instant — exactly the behaviour
+cellular batching removes (no joining, no early leaving).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.request import InferenceRequest
+from repro.gpu.device import GPUDevice
+from repro.models.base import Model
+from repro.server import InferenceServer
+from repro.sim.events import EventLoop
+
+
+class GraphBatchingServer(InferenceServer):
+    """Base class: idle-device dispatch loop over a batch-forming policy."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        model: Model,
+        num_gpus: int = 1,
+    ):
+        super().__init__(loop, name)
+        if num_gpus < 1:
+            raise ValueError("need at least one GPU")
+        self.model = model
+        self.cost_model = model.default_cost_model()
+        self.devices = [GPUDevice(loop, device_id=i) for i in range(num_gpus)]
+        self._device_busy = [False] * num_gpus
+        self._dispatch_pending = False
+        self.batches_executed = 0
+        self.batch_sizes: List[int] = []
+
+    # -- subclass policy ------------------------------------------------------
+
+    def _enqueue(self, request: InferenceRequest) -> None:
+        """Store an arriving request until it is batched."""
+        raise NotImplementedError
+
+    def _next_batch(self) -> Optional[Tuple[List[InferenceRequest], float]]:
+        """Pop the next batch to execute and its fused-graph duration, or
+        None when nothing is runnable."""
+        raise NotImplementedError
+
+    # -- dispatch loop -----------------------------------------------------------
+
+    def _accept(self, request: InferenceRequest) -> None:
+        self._enqueue(request)
+        # Defer dispatch to the end of the current timestamp so that
+        # simultaneously-arriving requests land in one batch rather than the
+        # first of them grabbing an idle device alone.
+        if not self._dispatch_pending:
+            self._dispatch_pending = True
+            self.loop.call_soon(self._deferred_dispatch)
+
+    def _deferred_dispatch(self) -> None:
+        self._dispatch_pending = False
+        self._dispatch_idle_devices()
+
+    def _dispatch_idle_devices(self) -> None:
+        for device_id, device in enumerate(self.devices):
+            if self._device_busy[device_id]:
+                continue
+            batch = self._next_batch()
+            if batch is None:
+                continue
+            requests, duration = batch
+            if not requests:
+                raise RuntimeError("batch policy returned an empty batch")
+            self._device_busy[device_id] = True
+            now = self.loop.now()
+            for request in requests:
+                request.mark_started(now)
+            self.batches_executed += 1
+            self.batch_sizes.append(len(requests))
+            device.run_for(
+                duration,
+                on_complete=lambda reqs=requests, d=device_id: self._batch_done(
+                    reqs, d
+                ),
+                tag=(self.name, len(requests)),
+            )
+
+    def _batch_done(self, requests: List[InferenceRequest], device_id: int) -> None:
+        self._device_busy[device_id] = False
+        for request in requests:
+            self._finish_request(request)
+        self._dispatch_idle_devices()
+
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)

@@ -1,0 +1,133 @@
+"""Padding + bucketing graph-batching server (the MXNet/TensorFlow baseline).
+
+Follows the serving policy the paper tuned for its baselines (§7.1):
+
+* each request is assigned to a bucket by length; the bucket with width
+  ``w`` holding requests of length in ``(i*w, (i+1)*w]`` pads them all to
+  ``(i+1)*w`` steps (one dataflow graph is materialised per bucket, so the
+  padded length is the bucket ceiling — "a request of length 21 will be
+  padded to length 30", §7.3);
+* buckets are served round-robin; a batch starts as soon as a device is
+  idle and it is that bucket's turn, even if not full (no timeout), taking
+  up to ``max_batch`` requests;
+* every request in the batch occupies a batch slot for every padded step of
+  every phase — that is the padding waste;
+* all requests in the batch complete when the fused graph completes.
+
+Multi-phase models (Seq2Seq) bucket on the tuple of per-phase ceilings and
+pad each phase to its own ceiling.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.baselines.base import GraphBatchingServer
+from repro.core.request import InferenceRequest
+from repro.models.base import Model
+from repro.sim.events import EventLoop
+
+
+class PaddedServer(GraphBatchingServer):
+    """Graph batching via padding, with width-``bucket_width`` bucketing."""
+
+    def __init__(
+        self,
+        model: Model,
+        bucket_width: int = 10,
+        max_batch: int = 512,
+        num_gpus: int = 1,
+        loop: Optional[EventLoop] = None,
+        per_batch_overhead: float = 100e-6,
+        per_step_overhead: float = 40e-6,
+        name: Optional[str] = None,
+    ):
+        if bucket_width < 1:
+            raise ValueError("bucket_width must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        super().__init__(
+            loop if loop is not None else EventLoop(),
+            name if name is not None else f"Padded(bw={bucket_width})",
+            model,
+            num_gpus,
+        )
+        self.bucket_width = bucket_width
+        self.max_batch = max_batch
+        self.per_batch_overhead = per_batch_overhead
+        # Frameworks dispatch one step's kernels after another inside the
+        # fused graph; the residual launch/engine gap per unrolled step.
+        self.per_step_overhead = per_step_overhead
+        # bucket key -> FIFO of requests; insertion order gives the
+        # round-robin ring over currently-known buckets.
+        self._buckets: "OrderedDict[Tuple[int, ...], Deque[InferenceRequest]]" = (
+            OrderedDict()
+        )
+        self._rr_ring: List[Tuple[int, ...]] = []
+        self._rr_index = 0
+        self._phase_names: Optional[List[str]] = None
+
+    # -- bucketing ---------------------------------------------------------------
+
+    def _ceil(self, steps: int) -> int:
+        return ((steps + self.bucket_width - 1) // self.bucket_width) * self.bucket_width
+
+    def bucket_key(self, payload) -> Tuple[int, ...]:
+        """The padded step count of the *first* phase.
+
+        Bucketing on the primary (input) length only matches how the tuned
+        baselines behave for Seq2Seq: one materialised graph per source
+        bucket, with the decoder sized when the batch is formed (a batch
+        decodes until its longest member finishes).  For single-phase chain
+        models this is simply the padded sequence length.
+        """
+        first_phase_steps = self.model.phases(payload)[0][1]
+        return (self._ceil(first_phase_steps),)
+
+    def _enqueue(self, request: InferenceRequest) -> None:
+        phases = self.model.phases(request.payload)
+        if self._phase_names is None:
+            self._phase_names = [name for name, _ in phases]
+        request.phase_steps = [steps for _, steps in phases]
+        key = self.bucket_key(request.payload)
+        if key not in self._buckets:
+            self._buckets[key] = deque()
+            self._rr_ring.append(key)
+        self._buckets[key].append(request)
+
+    # -- batch formation ------------------------------------------------------------
+
+    def _next_batch(self) -> Optional[Tuple[List[InferenceRequest], float]]:
+        if not self._rr_ring:
+            return None
+        n = len(self._rr_ring)
+        for offset in range(n):
+            key = self._rr_ring[(self._rr_index + offset) % n]
+            queue = self._buckets[key]
+            if queue:
+                self._rr_index = (self._rr_index + offset + 1) % n
+                batch = [
+                    queue.popleft() for _ in range(min(self.max_batch, len(queue)))
+                ]
+                return batch, self._duration(key, batch)
+        return None
+
+    def _duration(self, key: Tuple[int, ...], batch) -> float:
+        """Fused-graph time at the full batch size: the first phase runs its
+        bucket-ceiling step count; each later phase runs until the longest
+        request in the batch finishes it (rounded up to the bucket width,
+        since graphs are materialised at width granularity)."""
+        total = self.per_batch_overhead
+        for phase_idx, cell_name in enumerate(self._phase_names):
+            if phase_idx == 0:
+                padded_steps = key[0]
+            else:
+                padded_steps = self._ceil(
+                    max(r.phase_steps[phase_idx] for r in batch)
+                )
+            total += padded_steps * (
+                self.cost_model.kernel_time(cell_name, len(batch))
+                + self.per_step_overhead
+            )
+        return total

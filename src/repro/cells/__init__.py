@@ -1,0 +1,33 @@
+"""Batchable RNN cells.
+
+A *cell* is the unit of batching in the paper: a sub-dataflow-graph with
+embedded (shared) weights whose every input tensor has the batch dimension
+as axis 0.  Cells of the same type — identical definition, identical weight
+identity, identical input shapes — may be batched together.
+
+This package provides the concrete cells used by the paper's three
+applications (LSTM language model, Seq2Seq, TreeLSTM) plus a GRU extension
+and generic composition utilities.
+"""
+
+from repro.cells.base import Cell, CellSignature
+from repro.cells.composite import CompositeCell
+from repro.cells.embedding import EmbeddingCell
+from repro.cells.graph_cell import GraphCell
+from repro.cells.gru import GRUCell
+from repro.cells.lstm import LSTMCell
+from repro.cells.projection import ProjectionCell
+from repro.cells.tree_lstm import TreeInternalCell, TreeLeafCell
+
+__all__ = [
+    "Cell",
+    "CellSignature",
+    "CompositeCell",
+    "EmbeddingCell",
+    "GraphCell",
+    "GRUCell",
+    "LSTMCell",
+    "ProjectionCell",
+    "TreeInternalCell",
+    "TreeLeafCell",
+]

@@ -1,0 +1,151 @@
+"""Attention cells (Bahdanau-style additive attention) — extension.
+
+Attention gives every decoder step access to all encoder states, which is
+at odds with fixed-shape cell batching: different requests have different
+source lengths.  The standard serving resolution — used here — is a
+fixed-capacity *memory*: each request carries a padded (max_src, hidden)
+tensor plus a validity mask, so all attention cells share one shape and
+batch freely.
+
+Two cells:
+
+* :class:`AttentionEncoderCell` — an LSTM step that additionally writes its
+  output state into its position of the memory tensor, threading the memory
+  through the encoder chain;
+* :class:`AttentionDecoderCell` — embeds the previous token, attends over
+  the memory (masked additive attention), feeds [embedding; context] to an
+  LSTM step and projects to the vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.base import Cell
+from repro.cells.embedding import EmbeddingCell
+from repro.cells.lstm import LSTMCell
+from repro.cells.projection import ProjectionCell
+from repro.tensor import ops
+from repro.tensor.parameters import ParameterStore
+
+
+class AttentionEncoderCell(Cell):
+    """Encoder step: ``(ids, h, c, mem, pos) -> (h, c, mem)``.
+
+    ``mem`` is the request's (max_src, hidden) memory; the step writes its
+    new hidden state into row ``pos`` (an integer per example).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        vocab_size: int,
+        embed_dim: int,
+        hidden_dim: int,
+        max_src: int,
+        params: ParameterStore,
+    ):
+        super().__init__(name, ("ids", "h", "c", "mem", "pos"), ("h", "c", "mem"))
+        if max_src < 1:
+            raise ValueError("max_src must be >= 1")
+        self.max_src = max_src
+        self.hidden_dim = hidden_dim
+        self.embed = EmbeddingCell(f"{name}/embed", vocab_size, embed_dim, params)
+        self.lstm = LSTMCell(f"{name}/lstm", embed_dim, hidden_dim, params)
+
+    def input_shape(self, name: str) -> Optional[Tuple[int, ...]]:
+        if name == "ids" or name == "pos":
+            return ()
+        if name == "mem":
+            return (self.max_src, self.hidden_dim)
+        return (self.hidden_dim,)
+
+    def num_operators(self) -> int:
+        return self.embed.num_operators() + self.lstm.num_operators() + 1
+
+    def compute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        x = self.embed({"ids": inputs["ids"]})["emb"]
+        out = self.lstm({"x": x, "h": inputs["h"], "c": inputs["c"]})
+        pos = np.asarray(inputs["pos"]).reshape(-1).astype(np.int64)
+        if pos.size and (pos.min() < 0 or pos.max() >= self.max_src):
+            raise IndexError(
+                f"encoder position out of memory range [0, {self.max_src})"
+            )
+        mem = np.array(inputs["mem"], copy=True)
+        mem[np.arange(mem.shape[0]), pos] = out["h"]
+        return {"h": out["h"], "c": out["c"], "mem": mem}
+
+
+class AttentionDecoderCell(Cell):
+    """Decoder step with additive attention:
+    ``(ids, h, c, mem, mask) -> (h, c, token)``."""
+
+    def __init__(
+        self,
+        name: str,
+        vocab_size: int,
+        embed_dim: int,
+        hidden_dim: int,
+        max_src: int,
+        params: ParameterStore,
+        attention_dim: Optional[int] = None,
+    ):
+        super().__init__(name, ("ids", "h", "c", "mem", "mask"), ("h", "c", "token"))
+        if max_src < 1:
+            raise ValueError("max_src must be >= 1")
+        self.max_src = max_src
+        self.hidden_dim = hidden_dim
+        attn = attention_dim if attention_dim is not None else hidden_dim // 2 or 1
+        self.embed = EmbeddingCell(f"{name}/embed", vocab_size, embed_dim, params)
+        self.lstm = LSTMCell(
+            f"{name}/lstm", embed_dim + hidden_dim, hidden_dim, params
+        )
+        self.proj = ProjectionCell(f"{name}/proj", hidden_dim, vocab_size, params)
+        self.W_mem = params.create(f"{name}/attn/W_mem", (hidden_dim, attn))
+        self.W_query = params.create(f"{name}/attn/W_query", (hidden_dim, attn))
+        self.v = params.create(f"{name}/attn/v", (attn,))
+
+    def input_shape(self, name: str) -> Optional[Tuple[int, ...]]:
+        if name == "ids":
+            return ()
+        if name == "mem":
+            return (self.max_src, self.hidden_dim)
+        if name == "mask":
+            return (self.max_src,)
+        return (self.hidden_dim,)
+
+    def num_operators(self) -> int:
+        return (
+            self.embed.num_operators()
+            + self.lstm.num_operators()
+            + self.proj.num_operators()
+            + 6  # attention: 2 matmuls, tanh, score, softmax, context
+        )
+
+    def attention_weights(
+        self, h: np.ndarray, mem: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Masked additive attention: (batch, max_src) weights over memory."""
+        # (batch, max_src, attn) + (batch, 1, attn)
+        energy = ops.tanh(mem @ self.W_mem + (h @ self.W_query)[:, None, :])
+        scores = energy @ self.v  # (batch, max_src)
+        scores = np.where(mask > 0, scores, -1e9)
+        return ops.softmax(scores, axis=-1)
+
+    def compute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        x = self.embed({"ids": inputs["ids"]})["emb"]
+        mem = np.asarray(inputs["mem"])
+        mask = np.asarray(inputs["mask"])
+        weights = self.attention_weights(inputs["h"], mem, mask)
+        context = np.einsum("bs,bsh->bh", weights, mem)
+        out = self.lstm(
+            {
+                "x": ops.concat([x, context], axis=-1),
+                "h": inputs["h"],
+                "c": inputs["c"],
+            }
+        )
+        token = self.proj({"h": out["h"]})["token"]
+        return {"h": out["h"], "c": out["c"], "token": token}

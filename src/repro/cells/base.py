@@ -1,0 +1,113 @@
+"""Base class and type identity for batchable cells."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class CellSignature:
+    """Identity of a cell *type*.
+
+    Per the paper (§3.1): two cells are of the same type if they have
+    identical sub-graphs, share the same parameter weights, and expect the
+    same number of identically-shaped input tensors.  We capture that as
+    (definition name, weight-store identity, input shapes).
+    """
+
+    __slots__ = ("definition", "weights_id", "input_shapes")
+
+    def __init__(
+        self,
+        definition: str,
+        weights_id: int,
+        input_shapes: Tuple[Tuple[int, ...], ...],
+    ):
+        self.definition = definition
+        self.weights_id = weights_id
+        self.input_shapes = input_shapes
+
+    def _key(self):
+        return (self.definition, self.weights_id, self.input_shapes)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CellSignature) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"CellSignature({self.definition!r}, weights=0x{self.weights_id:x})"
+
+
+class Cell:
+    """A batchable computation unit.
+
+    Subclasses declare named inputs/outputs and implement :meth:`compute`,
+    which maps a dict of batched input tensors (axis 0 = batch) to a dict of
+    batched outputs.  Weights are embedded at construction, mirroring how
+    BatchMaker folds pre-trained weights into cell state at initialisation.
+
+    ``num_operators`` is used by the GPU simulator to count kernel launches
+    per batched task.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_names: Sequence[str],
+        output_names: Sequence[str],
+    ):
+        if not name:
+            raise ValueError("cell name must be non-empty")
+        self.name = name
+        self.input_names = tuple(input_names)
+        self.output_names = tuple(output_names)
+        dupes = set(self.input_names) & set(self.output_names)
+        # Shared names are allowed (e.g. h in, h out) and mean "recurrent".
+
+    # -- interface ---------------------------------------------------------
+
+    def compute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Run the batched forward computation."""
+        raise NotImplementedError
+
+    def num_operators(self) -> int:
+        """How many primitive operators (kernels) one execution launches."""
+        raise NotImplementedError
+
+    def input_shape(self, name: str) -> Optional[Tuple[int, ...]]:
+        """Per-example shape of input ``name`` (without batch dim), if known."""
+        return None
+
+    def signature(self) -> CellSignature:
+        """Type identity used to decide which cells may batch together."""
+        shapes = tuple(
+            self.input_shape(n) if self.input_shape(n) is not None else ()
+            for n in self.input_names
+        )
+        return CellSignature(self.name, id(self), shapes)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _validate_inputs(self, inputs: Dict[str, np.ndarray]) -> None:
+        missing = [n for n in self.input_names if n not in inputs]
+        if missing:
+            raise KeyError(f"cell {self.name!r} missing inputs: {missing}")
+
+    def __call__(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        self._validate_inputs(inputs)
+        outputs = self.compute(inputs)
+        missing = [n for n in self.output_names if n not in outputs]
+        if missing:
+            raise RuntimeError(
+                f"cell {self.name!r} did not produce outputs: {missing}"
+            )
+        return outputs
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"in={list(self.input_names)} out={list(self.output_names)}>"
+        )

@@ -1,0 +1,112 @@
+"""Composition of cells into larger cells.
+
+The paper lets users group several operators into one cell so the unfolded
+graph stays coarse (§3.1: "a complex cell such as LSTM not only contains
+many operators but also its own internal recursion").  ``CompositeCell``
+is the mechanism here: it chains member cells, wiring each member's inputs
+either from the composite's external inputs or from earlier members'
+outputs.  The Seq2Seq encoder cell (embedding -> LSTM) and decoder cell
+(embedding -> LSTM -> projection) are both composites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.base import Cell
+
+
+class CompositeCell(Cell):
+    """Chain member cells into one batchable unit.
+
+    Parameters
+    ----------
+    stages:
+        Ordered list of ``(cell, wiring)`` pairs.  ``wiring`` maps each
+        member-cell input name to a source reference: either
+        ``("external", name)`` for one of the composite's declared inputs or
+        ``("stage", i, output_name)`` for output ``output_name`` of the
+        ``i``-th earlier stage.
+    exports:
+        Maps each composite output name to ``("stage", i, output_name)``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_names: Sequence[str],
+        output_names: Sequence[str],
+        stages: Sequence[Tuple[Cell, Dict[str, tuple]]],
+        exports: Dict[str, tuple],
+    ):
+        super().__init__(name, input_names, output_names)
+        self.stages: List[Tuple[Cell, Dict[str, tuple]]] = list(stages)
+        self.exports = dict(exports)
+        self._validate_wiring()
+
+    def _validate_wiring(self) -> None:
+        for idx, (cell, wiring) in enumerate(self.stages):
+            for input_name in cell.input_names:
+                if input_name not in wiring:
+                    raise ValueError(
+                        f"composite {self.name!r}: stage {idx} ({cell.name!r}) "
+                        f"input {input_name!r} is unwired"
+                    )
+            for src in wiring.values():
+                self._check_ref(src, max_stage=idx)
+        for out in self.output_names:
+            if out not in self.exports:
+                raise ValueError(
+                    f"composite {self.name!r}: output {out!r} is unexported"
+                )
+        for ref in self.exports.values():
+            self._check_ref(ref, max_stage=len(self.stages))
+
+    def _check_ref(self, ref: tuple, max_stage: int) -> None:
+        if ref[0] == "external":
+            if ref[1] not in self.input_names:
+                raise ValueError(
+                    f"composite {self.name!r}: unknown external input {ref[1]!r}"
+                )
+        elif ref[0] == "stage":
+            stage_idx, out_name = ref[1], ref[2]
+            if not 0 <= stage_idx < max_stage:
+                raise ValueError(
+                    f"composite {self.name!r}: reference to stage {stage_idx} "
+                    f"is out of range (must precede stage {max_stage})"
+                )
+            if out_name not in self.stages[stage_idx][0].output_names:
+                raise ValueError(
+                    f"composite {self.name!r}: stage {stage_idx} has no "
+                    f"output {out_name!r}"
+                )
+        else:
+            raise ValueError(f"bad wiring reference {ref!r}")
+
+    def num_operators(self) -> int:
+        return sum(cell.num_operators() for cell, _ in self.stages)
+
+    def input_shape(self, name: str) -> Optional[Tuple[int, ...]]:
+        # Delegate to the first stage that consumes this external input.
+        for cell, wiring in self.stages:
+            for input_name, src in wiring.items():
+                if src[0] == "external" and src[1] == name:
+                    return cell.input_shape(input_name)
+        return None
+
+    def compute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        stage_outputs: List[Dict[str, np.ndarray]] = []
+        for cell, wiring in self.stages:
+            cell_inputs = {}
+            for input_name, src in wiring.items():
+                if src[0] == "external":
+                    cell_inputs[input_name] = inputs[src[1]]
+                else:
+                    cell_inputs[input_name] = stage_outputs[src[1]][src[2]]
+            stage_outputs.append(cell(cell_inputs))
+        result = {}
+        for out, ref in self.exports.items():
+            result[out] = stage_outputs[ref[1]][ref[2]]
+        return result

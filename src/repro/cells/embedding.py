@@ -1,0 +1,39 @@
+"""Word-embedding lookup cell."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.base import Cell
+from repro.tensor import ops
+from repro.tensor.parameters import ParameterStore
+
+
+class EmbeddingCell(Cell):
+    """Token-id to vector lookup: ``(ids,) -> (emb,)``.
+
+    ``ids`` is a batched int vector of shape (batch,).  In the cell graphs,
+    embedding lookups are fused into the step cells (see
+    :class:`repro.cells.composite.CompositeCell`) the way the paper folds
+    the lookup into the encoder/decoder cell bodies.
+    """
+
+    def __init__(self, name: str, vocab_size: int, embed_dim: int, params: ParameterStore):
+        super().__init__(name, ("ids",), ("emb",))
+        if vocab_size <= 0 or embed_dim <= 0:
+            raise ValueError("vocab_size and embed_dim must be positive")
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.table = params.create(f"{name}/table", (vocab_size, embed_dim), init="normal")
+
+    def input_shape(self, name: str) -> Optional[Tuple[int, ...]]:
+        return ()  # scalar id per example
+
+    def num_operators(self) -> int:
+        return 1
+
+    def compute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        ids = np.asarray(inputs["ids"]).reshape(-1).astype(np.int64)
+        return {"emb": ops.embedding_lookup(self.table, ids)}

@@ -1,0 +1,58 @@
+"""A cell whose body is a :class:`~repro.tensor.graph.DataflowGraph`.
+
+This mirrors the paper's user interface: "users define each RNN cell using
+MXNet/TensorFlow's Python interface and save the cell's dataflow graph in a
+JSON file ... the saved file is given to BatchMaker as the cell definition."
+Here the JSON produced by ``DataflowGraph.to_json`` plus a parameter store
+plays that role.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.base import Cell
+from repro.tensor.graph import DataflowGraph
+from repro.tensor.parameters import ParameterStore
+
+
+class GraphCell(Cell):
+    """Wrap a dataflow graph (optionally loaded from JSON) as a cell."""
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        params: ParameterStore,
+        input_shapes: Optional[Dict[str, Tuple[int, ...]]] = None,
+    ):
+        super().__init__(graph.name, graph.placeholders, graph.outputs)
+        self.graph = graph
+        self.params = params
+        self._input_shapes = dict(input_shapes or {})
+        # Fail fast if the graph references weights the store lacks.
+        missing = [p for p in graph.param_names if p not in params]
+        if missing:
+            raise KeyError(f"parameter store missing weights: {missing}")
+        graph.topological_order()  # validate acyclicity up front
+
+    @classmethod
+    def from_json(
+        cls,
+        text: str,
+        params: ParameterStore,
+        input_shapes: Optional[Dict[str, Tuple[int, ...]]] = None,
+    ) -> "GraphCell":
+        """Load a cell definition the way BatchMaker loads MXNet JSON."""
+        return cls(DataflowGraph.from_json(text), params, input_shapes)
+
+    def input_shape(self, name: str) -> Optional[Tuple[int, ...]]:
+        return self._input_shapes.get(name)
+
+    def num_operators(self) -> int:
+        return self.graph.num_operators()
+
+    def compute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        weights = {p: self.params.get(p) for p in self.graph.param_names}
+        return self.graph.run(inputs, weights)

@@ -1,0 +1,48 @@
+"""Output projection cell: hidden state -> vocabulary logits (+ argmax).
+
+In the paper's Seq2Seq model this projection dominates decode-phase cost
+(the (b, h) x (h, vocab) matmul), which is why the decoder's optimal batch
+size (256) differs from the encoder's (512).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.base import Cell
+from repro.tensor import ops
+from repro.tensor.parameters import ParameterStore
+
+
+class ProjectionCell(Cell):
+    """``(h,) -> (logits, token)`` where token = argmax(logits).
+
+    The paper notes argmax is unoptimised in MXNet/TF and that they wrote a
+    custom CUDA kernel for all systems; here it is a single NumPy argmax.
+    """
+
+    def __init__(self, name: str, hidden_dim: int, vocab_size: int, params: ParameterStore):
+        super().__init__(name, ("h",), ("logits", "token"))
+        if hidden_dim <= 0 or vocab_size <= 0:
+            raise ValueError("hidden_dim and vocab_size must be positive")
+        self.hidden_dim = hidden_dim
+        self.vocab_size = vocab_size
+        self.W = params.create(f"{name}/W", (hidden_dim, vocab_size))
+        self.b = params.create(f"{name}/b", (vocab_size,), init="zeros")
+
+    def input_shape(self, name: str) -> Optional[Tuple[int, ...]]:
+        return (self.hidden_dim,)
+
+    def num_operators(self) -> int:
+        return 3  # matmul, bias add, argmax
+
+    def compute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        h = inputs["h"]
+        if h.shape[-1] != self.hidden_dim:
+            raise ValueError(
+                f"{self.name}: h has dim {h.shape[-1]}, expected {self.hidden_dim}"
+            )
+        logits = h @ self.W + self.b
+        return {"logits": logits, "token": ops.argmax(logits, axis=-1)}

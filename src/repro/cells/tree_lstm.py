@@ -1,0 +1,103 @@
+"""Binary TreeLSTM cells (Tai et al., 2015 — the N-ary variant with N=2).
+
+The paper's TreeLSTM application has exactly two cell types — a leaf cell
+and an internal cell — which do not share weights with each other but do
+share weights across all of their own instances.  That two-type structure
+is what makes TreeLSTM the interesting scheduling case (leaf vs internal
+priority, shrinking batches toward the root).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cells.base import Cell
+from repro.tensor import ops
+from repro.tensor.parameters import ParameterStore
+
+
+class TreeLeafCell(Cell):
+    """Leaf cell: ``(ids,) -> (h, c)``.
+
+    Embeds the word id and applies input/output gating with no recurrent
+    term (a leaf has no children).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        vocab_size: int,
+        embed_dim: int,
+        hidden_dim: int,
+        params: ParameterStore,
+    ):
+        super().__init__(name, ("ids",), ("h", "c"))
+        if min(vocab_size, embed_dim, hidden_dim) <= 0:
+            raise ValueError("vocab_size, embed_dim, hidden_dim must be positive")
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.table = params.create(
+            f"{name}/table", (vocab_size, embed_dim), init="normal"
+        )
+        # i, o, u gates from the embedded input.
+        self.W = params.create(f"{name}/W", (embed_dim, 3 * hidden_dim))
+        self.b = params.create(f"{name}/b", (3 * hidden_dim,), init="zeros")
+
+    def input_shape(self, name: str) -> Optional[Tuple[int, ...]]:
+        return ()
+
+    def num_operators(self) -> int:
+        return 8  # lookup, matmul, add, 3 activations, mul, mul
+
+    def compute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        ids = np.asarray(inputs["ids"]).reshape(-1).astype(np.int64)
+        x = ops.embedding_lookup(self.table, ids)
+        gates = x @ self.W + self.b
+        i, o, u = ops.split(gates, 3, axis=-1)
+        i = ops.sigmoid(i)
+        o = ops.sigmoid(o)
+        u = ops.tanh(u)
+        c = i * u
+        h = o * ops.tanh(c)
+        return {"h": h, "c": c}
+
+
+class TreeInternalCell(Cell):
+    """Internal cell: ``(h_l, c_l, h_r, c_r) -> (h, c)``.
+
+    Binary N-ary TreeLSTM with a separate forget gate per child, following
+    Tai et al. equations (no input word at internal nodes, matching the
+    TreeBank sentiment setting the paper evaluates).
+    """
+
+    def __init__(self, name: str, hidden_dim: int, params: ParameterStore):
+        super().__init__(name, ("h_l", "c_l", "h_r", "c_r"), ("h", "c"))
+        if hidden_dim <= 0:
+            raise ValueError("hidden_dim must be positive")
+        self.hidden_dim = hidden_dim
+        # Fused transform: [h_l, h_r] -> [i, f_l, f_r, o, u]
+        self.W = params.create(f"{name}/W", (2 * hidden_dim, 5 * hidden_dim))
+        self.b = params.create(f"{name}/b", (5 * hidden_dim,), init="zeros")
+
+    def input_shape(self, name: str) -> Optional[Tuple[int, ...]]:
+        return (self.hidden_dim,)
+
+    def num_operators(self) -> int:
+        return 13
+
+    def compute(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        h_l, c_l = inputs["h_l"], inputs["c_l"]
+        h_r, c_r = inputs["h_r"], inputs["c_r"]
+        gates = ops.concat([h_l, h_r], axis=-1) @ self.W + self.b
+        i, f_l, f_r, o, u = ops.split(gates, 5, axis=-1)
+        i = ops.sigmoid(i)
+        f_l = ops.sigmoid(f_l + 1.0)  # forget bias 1.0, standard practice
+        f_r = ops.sigmoid(f_r + 1.0)
+        o = ops.sigmoid(o)
+        u = ops.tanh(u)
+        c = i * u + f_l * c_l + f_r * c_r
+        h = o * ops.tanh(c)
+        return {"h": h, "c": c}

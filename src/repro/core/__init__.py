@@ -1,0 +1,42 @@
+"""Cellular batching — the paper's core contribution.
+
+The pipeline mirrors Figure 6 of the paper:
+
+* a :class:`~repro.core.request.InferenceRequest` arrives and the
+  **request processor** unfolds it into a :class:`~repro.core.cell_graph.CellGraph`
+  and partitions it into same-cell-type :class:`~repro.core.subgraph.Subgraph`\\ s;
+* subgraphs whose external dependencies are satisfied are handed to the
+  **scheduler**, which implements the paper's Algorithm 1: it forms
+  :class:`~repro.core.task.BatchedTask`\\ s out of ready cells of one type —
+  possibly from many requests that arrived at different times — and submits
+  up to ``MaxTasksToSubmit`` of them to a **worker**;
+* each worker owns one (simulated) GPU, launches kernels asynchronously and
+  reports completions back to the **manager**, which updates dependencies,
+  releases newly-ready subgraphs, and returns each request the moment its
+  last cell finishes.
+"""
+
+from repro.core.batchmaker import BatchMakerServer
+from repro.core.cell import CellType
+from repro.core.cell_graph import CellGraph, CellNode, NodeOutput, ValueInput
+from repro.core.config import BatchingConfig, CellTypeConfig
+from repro.core.request import InferenceRequest, RequestState
+from repro.core.scheduler import Scheduler
+from repro.core.subgraph import Subgraph
+from repro.core.task import BatchedTask
+
+__all__ = [
+    "BatchMakerServer",
+    "BatchingConfig",
+    "CellTypeConfig",
+    "CellType",
+    "CellGraph",
+    "CellNode",
+    "NodeOutput",
+    "ValueInput",
+    "InferenceRequest",
+    "RequestState",
+    "Scheduler",
+    "Subgraph",
+    "BatchedTask",
+]

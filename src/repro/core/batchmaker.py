@@ -1,0 +1,84 @@
+"""BatchMaker server facade.
+
+Wraps the manager pipeline behind the common :class:`InferenceServer`
+interface so the load generator and the experiment harness can drive
+BatchMaker and the baselines identically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.config import BatchingConfig
+from repro.core.manager import Manager
+from repro.core.request import InferenceRequest
+from repro.gpu.costmodel import CostModel
+from repro.server import InferenceServer
+from repro.sim.events import EventLoop
+
+if TYPE_CHECKING:  # avoids a circular import (models depend on core)
+    from repro.models.base import Model
+
+
+class BatchMakerServer(InferenceServer):
+    """The cellular-batching inference server.
+
+    Parameters
+    ----------
+    model:
+        The servable model (cell types + unfold function).
+    config:
+        Batching configuration; default is max batch 512, MaxTasksToSubmit 5
+        (the paper's defaults for the LSTM experiments).
+    num_gpus:
+        Number of workers/devices (the paper evaluates 1, 2 and 4).
+    cost_model:
+        Latency tables per cell type; defaults to the model's own calibrated
+        tables.
+    real_compute:
+        When True, tasks actually run their NumPy cells and finished
+        requests carry ``result`` values.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        config: Optional[BatchingConfig] = None,
+        num_gpus: int = 1,
+        cost_model: Optional[CostModel] = None,
+        loop: Optional[EventLoop] = None,
+        real_compute: bool = False,
+        name: str = "BatchMaker",
+    ):
+        super().__init__(loop if loop is not None else EventLoop(), name)
+        if cost_model is None:
+            cost_model = model.default_cost_model()
+        self.model = model
+        self.config = config if config is not None else BatchingConfig.with_max_batch(512)
+        self.manager = Manager(
+            loop=self.loop,
+            model=model,
+            config=self.config,
+            cost_model=cost_model,
+            num_workers=num_gpus,
+            real_compute=real_compute,
+            on_request_finished=self.finished.append,
+        )
+
+    def _accept(self, request: InferenceRequest) -> None:
+        self.manager.submit_request(request)
+
+    # -- stats used by the experiment harness --------------------------------
+
+    def stats(self):
+        """A :class:`~repro.core.stats.ServerStats` snapshot (see its
+        ``report()`` for a human-readable summary)."""
+        from repro.core.stats import ServerStats
+
+        return ServerStats(self)
+
+    def tasks_submitted(self) -> int:
+        return self.manager.scheduler.tasks_submitted
+
+    def mean_batch_size(self) -> float:
+        return self.manager.scheduler.mean_batch_size()

@@ -1,0 +1,167 @@
+"""The per-request cell graph.
+
+Unfolding a request produces a coarse dataflow graph whose nodes are cell
+invocations and whose edges say which cell output feeds which cell input
+(§3.1's "cell graph").  Nodes carry their resolved input references —
+either request-provided values or another node's named output — and, in
+real-compute mode, their computed output rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.cell import CellType
+
+
+class ValueInput:
+    """A request-provided input value (e.g. a token id or an input vector)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"ValueInput({self.value!r})"
+
+
+class NodeOutput:
+    """A reference to the named output of another node in the same graph."""
+
+    __slots__ = ("node_id", "output")
+
+    def __init__(self, node_id: int, output: str):
+        self.node_id = node_id
+        self.output = output
+
+    def __repr__(self) -> str:
+        return f"NodeOutput(node={self.node_id}, output={self.output!r})"
+
+
+class CellNode:
+    """One cell invocation in a request's cell graph."""
+
+    __slots__ = (
+        "node_id",
+        "cell_type",
+        "inputs",
+        "outputs",
+        "completed",
+        "subgraph_id",
+        "launched",
+    )
+
+    def __init__(self, node_id: int, cell_type: CellType, inputs: Dict[str, Any]):
+        self.node_id = node_id
+        self.cell_type = cell_type
+        self.inputs = inputs  # input name -> ValueInput | NodeOutput
+        self.outputs: Optional[Dict[str, Any]] = None
+        self.completed = False
+        self.launched = False
+        self.subgraph_id: Optional[int] = None
+
+    def predecessors(self) -> List[int]:
+        """Node ids this node consumes outputs from (with duplicates removed,
+        preserving first-seen order)."""
+        seen = []
+        for ref in self.inputs.values():
+            if isinstance(ref, NodeOutput) and ref.node_id not in seen:
+                seen.append(ref.node_id)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"<CellNode {self.node_id} type={self.cell_type.name!r}>"
+
+
+class CellGraph:
+    """A growable DAG of cell invocations for one request.
+
+    Most models unfold statically at arrival; the dynamic Seq2Seq decoder
+    extends the graph while the request runs (see
+    :meth:`repro.core.request_processor.RequestProcessor.extend_request`).
+    """
+
+    def __init__(self):
+        self._nodes: Dict[int, CellNode] = {}
+        self._successors: Dict[int, List[int]] = {}
+        self._next_id = 0
+        # (node_id, output name) pairs whose values form the request result.
+        self.result_refs: List[Tuple[int, str]] = []
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, cell_type: CellType, inputs: Dict[str, Any]) -> CellNode:
+        """Append a node; ``inputs`` maps every cell input name to a
+        ValueInput or a NodeOutput referencing an *existing* node."""
+        missing = [n for n in cell_type.input_names if n not in inputs]
+        if missing:
+            raise ValueError(
+                f"node of type {cell_type.name!r} missing inputs: {missing}"
+            )
+        for ref in inputs.values():
+            if isinstance(ref, NodeOutput):
+                if ref.node_id not in self._nodes:
+                    raise ValueError(f"input references unknown node {ref.node_id}")
+                producer = self._nodes[ref.node_id]
+                if ref.output not in producer.cell_type.output_names:
+                    raise ValueError(
+                        f"node {ref.node_id} ({producer.cell_type.name!r}) has "
+                        f"no output {ref.output!r}"
+                    )
+            elif not isinstance(ref, ValueInput):
+                raise TypeError(f"inputs must be ValueInput/NodeOutput, got {ref!r}")
+        node = CellNode(self._next_id, cell_type, dict(inputs))
+        self._nodes[node.node_id] = node
+        self._successors[node.node_id] = []
+        for pred in node.predecessors():
+            self._successors[pred].append(node.node_id)
+        self._next_id += 1
+        return node
+
+    def mark_result(self, node: CellNode, output: str) -> None:
+        """Declare ``node.output`` as part of the request's final result."""
+        if output not in node.cell_type.output_names:
+            raise ValueError(
+                f"node {node.node_id} has no output {output!r} "
+                f"(has {node.cell_type.output_names})"
+            )
+        self.result_refs.append((node.node_id, output))
+
+    # -- access ------------------------------------------------------------
+
+    def node(self, node_id: int) -> CellNode:
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[CellNode]:
+        return iter(self._nodes.values())
+
+    def successors(self, node_id: int) -> Sequence[int]:
+        return self._successors[node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    # -- results -----------------------------------------------------------
+
+    def collect_results(self) -> List[Any]:
+        """Gather the declared result values (real-compute mode)."""
+        results = []
+        for node_id, output in self.result_refs:
+            node = self._nodes[node_id]
+            if node.outputs is None:
+                raise RuntimeError(
+                    f"result node {node_id} has not been executed"
+                )
+            results.append(node.outputs[output])
+        return results
+
+    def cell_type_census(self) -> Dict[str, int]:
+        """Node counts per cell type, used by tests and the Fold baseline."""
+        census: Dict[str, int] = {}
+        for node in self._nodes.values():
+            census[node.cell_type.name] = census.get(node.cell_type.name, 0) + 1
+        return census

@@ -1,0 +1,136 @@
+"""The manager: glue between request processor, scheduler and workers.
+
+Mirrors Figure 6: arriving requests flow through the request processor into
+the scheduler's per-cell-type queues; whenever a worker goes idle the
+scheduler is invoked for it; task completions flow back through the request
+processor, which may release new subgraphs and finish requests — after
+which idle workers are poked again so freshly released work starts
+immediately.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.core.config import BatchingConfig
+from repro.core.request import InferenceRequest
+from repro.core.request_processor import RequestProcessor
+from repro.core.scheduler import Scheduler
+from repro.core.subgraph import Subgraph
+from repro.core.task import BatchedTask
+from repro.core.worker import Worker
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import GPUDevice
+from repro.sim.events import EventLoop
+
+if TYPE_CHECKING:  # avoids a circular import (models depend on core)
+    from repro.models.base import Model
+
+
+class Manager:
+    """Owns the serving pipeline for one model."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        model: Model,
+        config: BatchingConfig,
+        cost_model: CostModel,
+        num_workers: int = 1,
+        real_compute: bool = False,
+        on_request_finished: Optional[Callable[[InferenceRequest], None]] = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.loop = loop
+        self.model = model
+        self.config = config
+        self.cost_model = cost_model
+        self._on_request_finished = on_request_finished
+
+        self.scheduler = Scheduler(config, submit=self._submit_task)
+        for cell_type in model.cell_types():
+            self.scheduler.register_cell_type(cell_type)
+
+        self.processor = RequestProcessor(
+            model,
+            on_release=self.scheduler.add_subgraph,
+            on_finished=self._finished,
+            collect_results=real_compute,
+        )
+
+        self.workers: List[Worker] = []
+        for i in range(num_workers):
+            device = GPUDevice(loop, device_id=i)
+            self.workers.append(
+                Worker(
+                    worker_id=i,
+                    device=device,
+                    cost_model=cost_model,
+                    loop=loop,
+                    on_task_complete=self._task_complete,
+                    real_compute=real_compute,
+                )
+            )
+        self.finished_requests: List[InferenceRequest] = []
+        self._poke_pending = False
+
+    # -- request entry -----------------------------------------------------
+
+    def submit_request(self, request: InferenceRequest) -> None:
+        """Accept a request at its arrival time (already 'now').
+
+        Scheduling is deferred to the end of the current timestamp so that
+        simultaneously-arriving requests can be batched together instead of
+        the first one grabbing an idle worker alone.
+        """
+        self.processor.add_request(request)
+        if not self._poke_pending:
+            self._poke_pending = True
+            self.loop.call_soon(self._deferred_poke)
+
+    def _deferred_poke(self) -> None:
+        self._poke_pending = False
+        self._poke_idle_workers()
+
+    # -- scheduler -> worker -------------------------------------------------
+
+    def _submit_task(self, task: BatchedTask, worker: Worker) -> None:
+        extra = self._migration_cost(task, worker)
+        for subgraph, _ in task.entries:
+            subgraph.request.mark_started(self.loop.now())
+            subgraph.last_worker = worker.worker_id
+        worker.submit(task, extra_cost=extra)
+
+    def _migration_cost(self, task: BatchedTask, worker: Worker) -> float:
+        """Cross-device copy cost for subgraphs whose live state sits on a
+        different GPU — zero under pinning, which is the point of pinning."""
+        cost = 0.0
+        hidden_bytes = 2 * 1024 * 4  # h and c vectors at h=1024, fp32
+        for subgraph in task.subgraphs():
+            if (
+                subgraph.last_worker is not None
+                and subgraph.last_worker != worker.worker_id
+            ):
+                cost += worker.device.copy_cost(hidden_bytes)
+        return cost
+
+    # -- worker -> manager ---------------------------------------------------
+
+    def _task_complete(self, worker: Worker, task: BatchedTask) -> None:
+        self.scheduler.task_completed(task)
+        self.processor.handle_task_completion(task, self.loop.now())
+        self._poke_idle_workers()
+
+    def _finished(self, request: InferenceRequest) -> None:
+        request.mark_finished(self.loop.now())
+        self.finished_requests.append(request)
+        if self._on_request_finished is not None:
+            self._on_request_finished(request)
+
+    # -- idle-driven scheduling ------------------------------------------------
+
+    def _poke_idle_workers(self) -> None:
+        for worker in self.workers:
+            if worker.is_idle():
+                self.scheduler.schedule(worker)

@@ -1,0 +1,132 @@
+"""Offline profiling: choose per-cell-type batch sizes.
+
+BatchMaker determines each cell type's desired maximum batch size "through
+offline benchmarking" (§4.2) — run one step of the cell at each candidate
+batch size, then pick the smallest size whose throughput is within a
+tolerance of the best (larger batches past saturation only add latency,
+§2.2).  This module implements that procedure both against a calibrated
+:class:`~repro.gpu.costmodel.CostModel` (simulation) and against a real
+NumPy cell measured on the host.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.base import Cell
+from repro.core.config import BatchingConfig, CellTypeConfig
+from repro.gpu.costmodel import CostModel
+
+DEFAULT_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class ProfileResult:
+    """Per-cell-type profiling outcome."""
+
+    def __init__(self, cell_name: str, points: List[Tuple[int, float]]):
+        if not points:
+            raise ValueError("profile needs at least one measurement")
+        self.cell_name = cell_name
+        self.points = sorted(points)  # (batch, seconds per step)
+
+    def throughput(self, batch: int) -> float:
+        for b, t in self.points:
+            if b == batch:
+                return b / t
+        raise KeyError(f"batch {batch} was not profiled")
+
+    def best_batch(self, tolerance: float = 0.001) -> int:
+        """Smallest batch within ``tolerance`` of the peak throughput."""
+        best = max(b / t for b, t in self.points)
+        for b, t in self.points:
+            if b / t >= (1.0 - tolerance) * best:
+                return b
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProfileResult {self.cell_name!r} best={self.best_batch()} "
+            f"({len(self.points)} points)>"
+        )
+
+
+def profile_cost_model(
+    cost_model: CostModel,
+    cell_names: Iterable[str],
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+) -> Dict[str, ProfileResult]:
+    """Profile cell types against their calibrated latency tables."""
+    results = {}
+    for name in cell_names:
+        points = [(b, cost_model.kernel_time(name, b)) for b in candidates]
+        results[name] = ProfileResult(name, points)
+    return results
+
+
+def profile_cell(
+    cell: Cell,
+    candidates: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    input_maker=None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> ProfileResult:
+    """Measure a real NumPy cell on the host at each candidate batch size.
+
+    ``input_maker(batch) -> inputs dict`` builds the batched inputs; the
+    default synthesises standard-normal tensors from the cell's declared
+    input shapes (which must all be known).
+    """
+    rng = np.random.default_rng(seed)
+
+    def default_inputs(batch: int):
+        inputs = {}
+        for name in cell.input_names:
+            shape = cell.input_shape(name)
+            if shape is None:
+                raise ValueError(
+                    f"cell {cell.name!r} input {name!r} has unknown shape; "
+                    "pass input_maker"
+                )
+            if shape == ():
+                inputs[name] = np.zeros(batch, dtype=np.int64)
+            else:
+                inputs[name] = rng.standard_normal((batch,) + shape).astype(
+                    np.float32
+                )
+        return inputs
+
+    maker = input_maker if input_maker is not None else default_inputs
+    points = []
+    for batch in candidates:
+        inputs = maker(batch)
+        cell(inputs)  # warm-up
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            cell(inputs)
+            best = min(best, time.perf_counter() - start)
+        points.append((batch, best))
+    return ProfileResult(cell.name, points)
+
+
+def recommend_config(
+    profiles: Dict[str, ProfileResult],
+    priorities: Optional[Dict[str, int]] = None,
+    max_tasks_to_submit: int = 5,
+    tolerance: float = 0.001,
+) -> BatchingConfig:
+    """Build a :class:`BatchingConfig` from profiling results — the offline
+    step that produced the paper's 512 (LSTM/encoder) and 256 (decoder)."""
+    per_cell = {}
+    for name, profile in profiles.items():
+        best = profile.best_batch(tolerance)
+        sizes = [b for b, _ in profile.points if b <= best]
+        per_cell[name] = CellTypeConfig(
+            batch_sizes=sizes, priority=(priorities or {}).get(name, 0)
+        )
+    return BatchingConfig(
+        per_cell=per_cell, max_tasks_to_submit=max_tasks_to_submit
+    )

@@ -1,0 +1,80 @@
+"""Request lifecycle and timing record.
+
+A request's latency decomposes exactly as the paper measures it in §7.3:
+*queuing time* (arrival -> first cell starts executing) and *computation
+time* (first execution -> result returned).  Those two CDFs are Figure 9.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional
+
+from repro.core.cell_graph import CellGraph
+
+
+class RequestState(enum.Enum):
+    PENDING = "pending"      # arrived, not yet executing
+    RUNNING = "running"      # at least one cell executed
+    FINISHED = "finished"    # last cell done, result returned
+
+
+class InferenceRequest:
+    """One inference request and its unfolded cell graph."""
+
+    def __init__(self, request_id: int, payload: Any, arrival_time: float):
+        self.request_id = request_id
+        self.payload = payload
+        self.arrival_time = arrival_time
+        self.graph: Optional[CellGraph] = None
+        self.subgraphs: dict = {}  # subgraph_id -> Subgraph, set by the processor
+        self.state = RequestState.PENDING
+
+        # Timing (seconds; virtual or wall clock depending on the server).
+        self.start_time: Optional[float] = None   # first cell began executing
+        self.finish_time: Optional[float] = None  # result returned
+
+        # Completion bookkeeping maintained by the request processor.
+        self.remaining_nodes = 0
+        self.unfolding_complete = True  # dynamic decoders flip this off
+
+        self.result: Optional[List[Any]] = None
+
+    # -- lifecycle transitions (called by the engine) -----------------------
+
+    def mark_started(self, now: float) -> None:
+        if self.start_time is None:
+            self.start_time = now
+            self.state = RequestState.RUNNING
+
+    def mark_finished(self, now: float) -> None:
+        if self.state is RequestState.FINISHED:
+            raise RuntimeError(f"request {self.request_id} finished twice")
+        self.finish_time = now
+        self.state = RequestState.FINISHED
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queuing_time(self) -> Optional[float]:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.arrival_time
+
+    @property
+    def computation_time(self) -> Optional[float]:
+        if self.finish_time is None or self.start_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    def __repr__(self) -> str:
+        return (
+            f"<InferenceRequest {self.request_id} {self.state.value} "
+            f"arrival={self.arrival_time:.6f}>"
+        )

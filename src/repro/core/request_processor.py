@@ -1,0 +1,164 @@
+"""Request processor: unfolding, dependency tracking, subgraph release.
+
+This is the manager submodule of Figure 6 that "tracks the progress of
+execution for each request": it unfolds arriving requests into cell graphs,
+partitions them into subgraphs, releases subgraphs to the scheduler once
+their external dependencies are satisfied, consumes task completions, and
+returns a request the moment its last cell finishes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+
+from repro.core.cell_graph import CellGraph
+from repro.core.request import InferenceRequest
+from repro.core.subgraph import Subgraph, partition_into_subgraphs
+from repro.core.task import BatchedTask
+
+if TYPE_CHECKING:  # avoids a circular import (models depend on core)
+    from repro.models.base import Model
+
+
+class RequestProcessor:
+    """Tracks per-request execution state and feeds the scheduler.
+
+    Parameters
+    ----------
+    model:
+        Supplies ``unfold`` (and optionally ``extend`` for dynamic graphs).
+    on_release:
+        Called with each subgraph whose external dependencies are satisfied;
+        the manager forwards these to the scheduler.
+    on_finished:
+        Called with each request whose last cell has completed.
+    collect_results:
+        Whether to materialise ``request.result`` from node outputs
+        (real-compute mode only; in pure simulation nodes have no values).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        on_release: Callable[[Subgraph], None],
+        on_finished: Callable[[InferenceRequest], None],
+        collect_results: bool = False,
+    ):
+        self.model = model
+        self._on_release = on_release
+        self._on_finished = on_finished
+        self._collect_results = collect_results
+        self._next_subgraph_id = 0
+        # Live (not fully completed) subgraphs by id, per request.
+        self._live_requests: Set[int] = set()
+        self._requests: Dict[int, InferenceRequest] = {}
+        self.total_nodes_processed = 0
+
+    # -- arrival ----------------------------------------------------------------
+
+    def add_request(self, request: InferenceRequest) -> List[Subgraph]:
+        """Unfold, partition, and release the initially-ready subgraphs."""
+        if request.request_id in self._requests:
+            raise ValueError(f"request {request.request_id} already added")
+        graph = CellGraph()
+        self.model.unfold(graph, request.payload)
+        if len(graph) == 0:
+            raise ValueError(
+                f"model {self.model.name!r} unfolded request "
+                f"{request.request_id} into an empty graph"
+            )
+        request.graph = graph
+        request.remaining_nodes = len(graph)
+        self._requests[request.request_id] = request
+        self._live_requests.add(request.request_id)
+
+        subgraphs = partition_into_subgraphs(
+            graph, request, start_id=self._next_subgraph_id
+        )
+        self._next_subgraph_id += len(subgraphs)
+        request.subgraphs = {sg.subgraph_id: sg for sg in subgraphs}
+        released = []
+        for sg in subgraphs:
+            if sg.is_releasable():
+                self._release(sg)
+                released.append(sg)
+        return released
+
+    def _release(self, sg: Subgraph) -> None:
+        sg.released = True
+        self._on_release(sg)
+
+    # -- completion -------------------------------------------------------------
+
+    def handle_task_completion(self, task: BatchedTask, now: float) -> List[InferenceRequest]:
+        """Update dependencies for a retired task; returns requests that
+        finished as a result."""
+        affected_requests: Dict[int, InferenceRequest] = {}
+
+        # 1. Mark nodes completed and update per-subgraph counters.
+        for subgraph, node in task.entries:
+            if node.completed:
+                raise RuntimeError(f"node {node.node_id} completed twice")
+            node.completed = True
+            request = subgraph.request
+            request.remaining_nodes -= 1
+            self.total_nodes_processed += 1
+            affected_requests[request.request_id] = request
+        for subgraph, count in self._per_subgraph(task).items():
+            subgraph.task_done(count)
+
+        # 2. Dynamic unfolding: give the model a chance to grow each graph.
+        for subgraph, node in task.entries:
+            request = subgraph.request
+            new_nodes = self.model.extend(subgraph.graph, node, request.payload)
+            if new_nodes:
+                request.remaining_nodes += len(new_nodes)
+                new_subgraphs = partition_into_subgraphs(
+                    subgraph.graph,
+                    request,
+                    nodes=new_nodes,
+                    start_id=self._next_subgraph_id,
+                )
+                self._next_subgraph_id += len(new_subgraphs)
+                for sg in new_subgraphs:
+                    request.subgraphs[sg.subgraph_id] = sg
+                    if sg.is_releasable():
+                        self._release(sg)
+
+        # 3. Propagate completions across subgraph boundaries.
+        for subgraph, node in task.entries:
+            graph = subgraph.graph
+            for succ_id in graph.successors(node.node_id):
+                succ = graph.node(succ_id)
+                if succ.subgraph_id == subgraph.subgraph_id:
+                    continue  # internal edges are handled by the scheduler
+                succ_sg = subgraph.request.subgraphs[succ.subgraph_id]
+                if succ_sg.satisfy_external(node.node_id, succ_id):
+                    self._release(succ_sg)
+            # Non-optimistic (unpinned) mode: internal readiness advances on
+            # completion instead of on submission.
+            if not getattr(subgraph, "optimistic", True):
+                subgraph.mark_completed_internal([node.node_id])
+
+        # 4. Finish requests whose graphs are fully executed.
+        finished = []
+        for request in affected_requests.values():
+            if request.remaining_nodes == 0:
+                if self._collect_results:
+                    request.result = request.graph.collect_results()
+                self._live_requests.discard(request.request_id)
+                finished.append(request)
+                self._on_finished(request)
+        return finished
+
+    @staticmethod
+    def _per_subgraph(task: BatchedTask) -> Dict[Subgraph, int]:
+        counts: Dict[Subgraph, int] = {}
+        for subgraph, _ in task.entries:
+            counts[subgraph] = counts.get(subgraph, 0) + 1
+        return counts
+
+    # -- introspection ------------------------------------------------------------
+
+    def live_request_count(self) -> int:
+        return len(self._live_requests)

@@ -1,0 +1,197 @@
+"""The batching scheduler — the paper's Algorithm 1.
+
+One :class:`CellTypeQueue` per cell type holds released subgraphs in FIFO
+order.  ``schedule(worker)`` picks a cell type by the paper's three-tier
+criterion, then ``_batch`` forms and submits up to ``MaxTasksToSubmit``
+batched tasks to that worker, pinning the touched subgraphs so that
+dependent follow-up tasks stay on the same device (whose FIFO stream order
+then satisfies their dependencies without waiting for completions).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.cell import CellType
+from repro.core.config import BatchingConfig, CellTypeConfig
+from repro.core.subgraph import Subgraph
+from repro.core.task import BatchedTask
+
+
+class CellTypeQueue:
+    """Scheduler state for one cell type."""
+
+    def __init__(self, cell_type: CellType, config: CellTypeConfig):
+        self.cell_type = cell_type
+        self.config = config
+        self.subgraphs: "OrderedDict[int, Subgraph]" = OrderedDict()
+        self.running_tasks = 0
+
+    def num_ready_nodes(self) -> int:
+        return sum(sg.ready_count() for sg in self.subgraphs.values())
+
+    def add(self, sg: Subgraph) -> None:
+        self.subgraphs[sg.subgraph_id] = sg
+
+    def __repr__(self) -> str:
+        return (
+            f"<CellTypeQueue {self.cell_type.name!r} "
+            f"subgraphs={len(self.subgraphs)} running={self.running_tasks}>"
+        )
+
+
+class Scheduler:
+    """Forms batched tasks and assigns them to workers (paper Algorithm 1)."""
+
+    def __init__(
+        self,
+        config: BatchingConfig,
+        submit: Callable[[BatchedTask, "object"], None],
+    ):
+        self.config = config
+        self._submit = submit
+        self._queues: Dict[str, CellTypeQueue] = {}
+        self._next_task_id = 0
+        self.tasks_submitted = 0
+        # Histogram of submitted batch sizes, for the evaluation's
+        # "effective batch size" analysis.
+        self.batch_size_counts: Dict[int, int] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register_cell_type(self, cell_type: CellType) -> None:
+        if cell_type.name in self._queues:
+            raise ValueError(f"cell type {cell_type.name!r} registered twice")
+        self._queues[cell_type.name] = CellTypeQueue(
+            cell_type, self.config.for_cell(cell_type.name)
+        )
+
+    def add_subgraph(self, sg: Subgraph) -> None:
+        """Accept a released subgraph into its cell type's queue."""
+        if sg.cell_type_name not in self._queues:
+            raise KeyError(
+                f"subgraph of unregistered cell type {sg.cell_type_name!r}"
+            )
+        sg.optimistic = self.config.pinning
+        self._queues[sg.cell_type_name].add(sg)
+
+    # -- Algorithm 1 ----------------------------------------------------------
+
+    def schedule(self, worker) -> int:
+        """Pick a cell type for ``worker`` and submit batched tasks.
+
+        Selection order (Algorithm 1, lines 5-10): (a) cell types with at
+        least a full maximum batch of ready nodes; else (b) cell types with
+        ready nodes and no running tasks; else (c) any cell type with ready
+        nodes.  Ties break by priority, then by name for determinism.
+        Returns the number of tasks submitted.
+        """
+        queues = list(self._queues.values())
+        candidates = [
+            q for q in queues if q.num_ready_nodes() >= q.config.max_batch
+        ]
+        if not candidates:
+            candidates = [
+                q
+                for q in queues
+                if q.running_tasks == 0 and q.num_ready_nodes() > 0
+            ]
+        if not candidates:
+            candidates = [q for q in queues if q.num_ready_nodes() > 0]
+        if not candidates:
+            return 0
+        chosen = max(
+            candidates, key=lambda q: (q.config.priority, q.cell_type.name)
+        )
+        return self._batch(chosen, worker)
+
+    def _batch(self, queue: CellTypeQueue, worker) -> int:
+        """Algorithm 1's ``Batch``: submit up to MaxTasksToSubmit tasks."""
+        num_tasks = 0
+        while num_tasks < self.config.max_tasks_to_submit:
+            plan = self._form_batched_task(queue, worker)
+            batch_size = sum(count for _, count in plan)
+            if batch_size == 0:
+                break
+            if batch_size >= queue.config.min_batch or num_tasks == 0:
+                self._commit(queue, worker, plan)
+                num_tasks += 1
+            else:
+                break
+        return num_tasks
+
+    def _form_batched_task(
+        self, queue: CellTypeQueue, worker
+    ) -> List[Tuple[Subgraph, int]]:
+        """Algorithm 1's ``FormBatchedTask``: plan (without committing) how
+        many ready nodes to take from each eligible subgraph, scanning the
+        queue in FIFO order until the maximum batch size is reached."""
+        plan: List[Tuple[Subgraph, int]] = []
+        budget = queue.config.max_batch
+        for sg in queue.subgraphs.values():
+            if budget == 0:
+                break
+            if sg.pinned is not None and sg.pinned != worker.worker_id:
+                continue
+            take = min(sg.ready_count(), budget)
+            if take > 0:
+                plan.append((sg, take))
+                budget -= take
+        return plan
+
+    def _commit(
+        self,
+        queue: CellTypeQueue,
+        worker,
+        plan: List[Tuple[Subgraph, int]],
+    ) -> None:
+        """Materialise a planned batch: pop the ready nodes, build the task,
+        pin subgraphs, update (optimistic) dependencies, and submit."""
+        entries = []
+        for sg, count in plan:
+            node_ids = sg.take_ready(count)
+            if len(node_ids) != count:
+                raise RuntimeError(
+                    f"subgraph {sg.subgraph_id}: planned {count} nodes but "
+                    f"only {len(node_ids)} were ready"
+                )
+            for nid in node_ids:
+                entries.append((sg, sg.graph.node(nid)))
+            if self.config.pinning:
+                sg.pin(worker.worker_id)
+            else:
+                sg.inflight += 1
+            sg.mark_submitted(node_ids)
+            if sg.exhausted():
+                queue.subgraphs.pop(sg.subgraph_id, None)
+        task = BatchedTask(self._next_task_id, queue.cell_type, entries)
+        self._next_task_id += 1
+        queue.running_tasks += 1
+        self.tasks_submitted += 1
+        size = task.batch_size
+        self.batch_size_counts[size] = self.batch_size_counts.get(size, 0) + 1
+        self._submit(task, worker)
+
+    # -- completion ---------------------------------------------------------
+
+    def task_completed(self, task: BatchedTask) -> None:
+        queue = self._queues[task.cell_type.name]
+        queue.running_tasks -= 1
+        if queue.running_tasks < 0:
+            raise RuntimeError(
+                f"cell type {task.cell_type.name!r}: running task underflow"
+            )
+
+    # -- introspection --------------------------------------------------------
+
+    def total_ready_nodes(self) -> int:
+        return sum(q.num_ready_nodes() for q in self._queues.values())
+
+    def queue_for(self, cell_name: str) -> CellTypeQueue:
+        return self._queues[cell_name]
+
+    def mean_batch_size(self) -> float:
+        total = sum(b * c for b, c in self.batch_size_counts.items())
+        count = sum(self.batch_size_counts.values())
+        return total / count if count else 0.0

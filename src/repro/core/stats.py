@@ -1,0 +1,108 @@
+"""Serving statistics: what the engine actually did.
+
+Aggregates per-cell-type task counts and batch sizes, per-worker
+utilisation and gather rates, and latency percentiles into a readable
+report — the observability surface a production deployment of BatchMaker
+would expose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.metrics.latency import LatencyStats
+from repro.metrics.summary import format_table
+
+
+class ServerStats:
+    """Snapshot of a BatchMaker server's counters."""
+
+    def __init__(self, server):
+        manager = server.manager
+        self.server_name = server.name
+        self.finished_requests = len(server.finished)
+        self.tasks_submitted = manager.scheduler.tasks_submitted
+        self.batch_size_counts = dict(manager.scheduler.batch_size_counts)
+        self.nodes_processed = manager.processor.total_nodes_processed
+        self.live_requests = manager.processor.live_request_count()
+        now = manager.loop.now()
+        self.workers = []
+        for worker in manager.workers:
+            busy = worker.device.timeline.busy_time(until=now)
+            self.workers.append(
+                {
+                    "worker_id": worker.worker_id,
+                    "tasks": worker.tasks_executed,
+                    "busy_time": busy,
+                    "utilization": busy / now if now > 0 else 0.0,
+                    "gathers": worker.gathers_performed,
+                    "gather_rate": (
+                        worker.gathers_performed / worker.tasks_executed
+                        if worker.tasks_executed
+                        else 0.0
+                    ),
+                }
+            )
+        self.latency: Optional[LatencyStats] = None
+        if server.finished:
+            self.latency = LatencyStats().extend(server.finished)
+
+    # -- derived ------------------------------------------------------------------
+
+    def mean_batch_size(self) -> float:
+        total = sum(b * c for b, c in self.batch_size_counts.items())
+        count = sum(self.batch_size_counts.values())
+        return total / count if count else 0.0
+
+    def batch_size_percentile(self, p: float) -> int:
+        """Request-weighted batch-size percentile (what a typical *cell*
+        experienced, not a typical task)."""
+        if not self.batch_size_counts:
+            raise ValueError("no tasks executed")
+        weighted = []
+        for batch, count in sorted(self.batch_size_counts.items()):
+            weighted.append((batch, batch * count))
+        total = sum(w for _, w in weighted)
+        threshold = total * p / 100.0
+        running = 0.0
+        for batch, weight in weighted:
+            running += weight
+            if running >= threshold:
+                return batch
+        return weighted[-1][0]
+
+    # -- rendering -----------------------------------------------------------------
+
+    def report(self) -> str:
+        lines = [f"=== {self.server_name} serving report ==="]
+        lines.append(
+            f"requests: {self.finished_requests} finished, "
+            f"{self.live_requests} live; cells executed: {self.nodes_processed}; "
+            f"tasks: {self.tasks_submitted} "
+            f"(mean batch {self.mean_batch_size():.1f}, "
+            f"cell-weighted p50 batch {self.batch_size_percentile(50)})"
+        )
+        rows = [
+            [
+                f"gpu{w['worker_id']}",
+                str(w["tasks"]),
+                f"{w['busy_time'] * 1e3:.1f}",
+                f"{w['utilization']:.0%}",
+                f"{w['gather_rate']:.0%}",
+            ]
+            for w in self.workers
+        ]
+        lines.append(
+            format_table(
+                ["worker", "tasks", "busy ms", "utilization", "gather rate"], rows
+            )
+        )
+        if self.latency is not None:
+            lines.append(
+                "latency ms: "
+                f"p50 {1e3 * self.latency.p(50):.2f}, "
+                f"p90 {1e3 * self.latency.p(90):.2f}, "
+                f"p99 {1e3 * self.latency.p(99):.2f} "
+                f"(queuing p99 {1e3 * self.latency.p(99, 'queuing'):.2f})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Subgraphs: the scheduler's unit of queuing, pinning and locality.
+
+The request processor partitions each cell graph into maximal connected
+components of same-cell-type nodes (§4.3: "a subgraph contains a single node
+or a number of connected nodes ... all nodes of a subgraph must be of the
+same cell type").  A subgraph is *released* to the scheduler only once all
+its external dependencies are satisfied, so within a subgraph the only
+unsatisfied dependencies are internal — which the scheduler resolves
+optimistically because tasks pinned to one worker execute in FIFO order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.cell_graph import CellGraph, CellNode
+
+
+class Subgraph:
+    """A same-type connected group of one request's cells.
+
+    Scheduling state:
+
+    * ``ready``: nodes whose in-subgraph predecessors have all been
+      *submitted* (the optimistic readiness of Algorithm 1's
+      ``UpdateNodesDependency``), not yet submitted themselves.
+    * ``pinned``: worker id this subgraph is currently bound to; set when a
+      task containing its nodes is submitted, cleared when ``inflight``
+      returns to zero (paper §4.3, last paragraph).
+    """
+
+    def __init__(
+        self,
+        subgraph_id: int,
+        request,  # InferenceRequest; untyped to avoid a circular import
+        cell_type_name: str,
+        nodes: Sequence[CellNode],
+        graph: CellGraph,
+    ):
+        self.subgraph_id = subgraph_id
+        self.request = request
+        self.cell_type_name = cell_type_name
+        self.graph = graph
+        self.node_ids = [n.node_id for n in nodes]
+        node_id_set = set(self.node_ids)
+        for node in nodes:
+            node.subgraph_id = subgraph_id
+
+        # In-subgraph predecessor counts (for optimistic readiness) and the
+        # set of unsatisfied external (cross-subgraph) dependency edges
+        # (pred_node_id, succ_node_id) gating release.
+        self._internal_pending: Dict[int, int] = {}
+        self._external_edges = set()
+        for node in nodes:
+            internal = 0
+            for pred in node.predecessors():
+                if pred in node_id_set:
+                    internal += 1
+                elif not graph.node(pred).completed:
+                    self._external_edges.add((pred, node.node_id))
+            self._internal_pending[node.node_id] = internal
+
+        self.ready: List[int] = [
+            nid for nid in self.node_ids if self._internal_pending[nid] == 0
+        ]
+        self.unsubmitted = len(self.node_ids)
+        self.uncompleted = len(self.node_ids)
+        self.pinned: Optional[int] = None
+        self.inflight = 0
+        self.released = False
+        # Optimistic readiness (advance internal deps at submission, relying
+        # on same-worker FIFO order).  The scheduler flips this off when
+        # pinning is disabled, in which case internal deps advance only on
+        # actual completion.
+        self.optimistic = True
+        # Device the data of this subgraph currently lives on; used to model
+        # the cross-GPU copy cost when pinning is disabled.
+        self.last_worker: Optional[int] = None
+
+    # -- release bookkeeping (driven by the request processor) -------------
+
+    @property
+    def external_pending(self) -> int:
+        return len(self._external_edges)
+
+    def satisfy_external(self, pred_id: int, succ_id: int) -> bool:
+        """The external predecessor ``pred_id`` of our node ``succ_id``
+        completed; returns True when the subgraph has just become
+        releasable.  Edges not tracked (e.g. the predecessor was already
+        complete when this subgraph was created) are ignored."""
+        self._external_edges.discard((pred_id, succ_id))
+        return self.external_pending == 0 and not self.released
+
+    def is_releasable(self) -> bool:
+        return self.external_pending == 0 and not self.released
+
+    # -- scheduling bookkeeping (driven by the scheduler) -------------------
+
+    def ready_count(self) -> int:
+        return len(self.ready)
+
+    def take_ready(self, limit: int) -> List[int]:
+        """Pop up to ``limit`` ready node ids (FIFO within the subgraph)."""
+        if limit <= 0:
+            return []
+        taken, self.ready = self.ready[:limit], self.ready[limit:]
+        return taken
+
+    def mark_submitted(self, node_ids: Sequence[int]) -> int:
+        """Algorithm 1's ``UpdateNodesDependency``: after the given nodes are
+        submitted, in-subgraph successors whose predecessors have now all
+        been submitted become ready (optimistic mode only).  Returns how many
+        became ready."""
+        newly_ready = 0
+        for nid in node_ids:
+            self.unsubmitted -= 1
+            if self.optimistic:
+                newly_ready += self._advance_internal(nid)
+        if self.unsubmitted < 0:
+            raise RuntimeError(f"subgraph {self.subgraph_id}: oversubmitted")
+        return newly_ready
+
+    def mark_completed_internal(self, node_ids: Sequence[int]) -> int:
+        """Non-optimistic mode: advance internal readiness on completion."""
+        if self.optimistic:
+            raise RuntimeError(
+                f"subgraph {self.subgraph_id} is optimistic; internal deps "
+                "advance at submission"
+            )
+        newly_ready = 0
+        for nid in node_ids:
+            newly_ready += self._advance_internal(nid)
+        return newly_ready
+
+    def _advance_internal(self, nid: int) -> int:
+        newly_ready = 0
+        for succ in self.graph.successors(nid):
+            if succ in self._internal_pending:
+                if self.graph.node(succ).subgraph_id == self.subgraph_id:
+                    self._internal_pending[succ] -= 1
+                    if self._internal_pending[succ] == 0:
+                        self.ready.append(succ)
+                        newly_ready += 1
+        return newly_ready
+
+    def exhausted(self) -> bool:
+        """No nodes left to submit — the scheduler drops it from its queue."""
+        return self.unsubmitted == 0
+
+    def pin(self, worker_id: int) -> None:
+        if self.pinned is not None and self.pinned != worker_id:
+            raise RuntimeError(
+                f"subgraph {self.subgraph_id} already pinned to worker "
+                f"{self.pinned}, cannot pin to {worker_id}"
+            )
+        self.pinned = worker_id
+        self.inflight += 1
+
+    def task_done(self, completed_nodes: int) -> None:
+        """A task containing this subgraph's nodes retired; unpin at zero."""
+        self.uncompleted -= completed_nodes
+        self.inflight -= 1
+        if self.inflight < 0 or self.uncompleted < 0:
+            raise RuntimeError(f"subgraph {self.subgraph_id}: completion underflow")
+        if self.inflight == 0:
+            self.pinned = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Subgraph {self.subgraph_id} type={self.cell_type_name!r} "
+            f"nodes={len(self.node_ids)} ready={len(self.ready)} "
+            f"pinned={self.pinned}>"
+        )
+
+
+def partition_into_subgraphs(
+    graph: CellGraph,
+    request,
+    nodes: Optional[Sequence[CellNode]] = None,
+    start_id: int = 0,
+) -> List[Subgraph]:
+    """Split ``nodes`` (default: the whole graph) into maximal connected
+    components of equal cell type.
+
+    Connectivity follows dataflow edges in both directions but only through
+    nodes of the same cell type, giving exactly the paper's partition: an
+    LSTM chain is one subgraph; Seq2Seq yields one encoder and one decoder
+    subgraph; a TreeLSTM yields one subgraph per leaf plus one subgraph of
+    all internal nodes.
+    """
+    pool = list(nodes) if nodes is not None else list(graph.nodes())
+    pool_ids = {n.node_id for n in pool}
+    visited = set()
+    subgraphs: List[Subgraph] = []
+    next_id = start_id
+    for seed in pool:
+        if seed.node_id in visited:
+            continue
+        component = []
+        stack = [seed.node_id]
+        visited.add(seed.node_id)
+        while stack:
+            nid = stack.pop()
+            node = graph.node(nid)
+            component.append(node)
+            neighbours = list(node.predecessors()) + list(graph.successors(nid))
+            for other_id in neighbours:
+                if other_id in visited or other_id not in pool_ids:
+                    continue
+                other = graph.node(other_id)
+                if other.cell_type.name == seed.cell_type.name:
+                    visited.add(other_id)
+                    stack.append(other_id)
+        component.sort(key=lambda n: n.node_id)
+        subgraphs.append(
+            Subgraph(next_id, request, seed.cell_type.name, component, graph)
+        )
+        next_id += 1
+    return subgraphs

@@ -1,0 +1,109 @@
+"""Batched tasks: what the scheduler submits to workers.
+
+A task is one batched execution of a single cell type: a list of
+``(subgraph, node)`` entries gathered from possibly many requests.  In
+real-compute mode the task gathers each entry's input rows into contiguous
+batched tensors (the paper's "gather" memory copy), runs the cell once, and
+scatters the output rows back to the nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cell import CellType
+from repro.core.cell_graph import CellNode, NodeOutput, ValueInput
+from repro.core.subgraph import Subgraph
+from repro.tensor import ops
+
+
+class BatchedTask:
+    """A batch of same-type cell invocations destined for one worker."""
+
+    def __init__(
+        self,
+        task_id: int,
+        cell_type: CellType,
+        entries: List[Tuple[Subgraph, CellNode]],
+    ):
+        if not entries:
+            raise ValueError("a batched task needs at least one entry")
+        for _, node in entries:
+            if node.cell_type.name != cell_type.name:
+                raise ValueError(
+                    f"task {task_id}: node {node.node_id} has type "
+                    f"{node.cell_type.name!r}, expected {cell_type.name!r}"
+                )
+        self.task_id = task_id
+        self.cell_type = cell_type
+        self.entries = entries
+        self.worker_id: Optional[int] = None
+        self.submit_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.duration: Optional[float] = None
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.entries)
+
+    def subgraphs(self) -> List[Subgraph]:
+        """Distinct subgraphs contributing nodes, in first-seen order."""
+        seen: Dict[int, Subgraph] = {}
+        for subgraph, _ in self.entries:
+            seen.setdefault(subgraph.subgraph_id, subgraph)
+        return list(seen.values())
+
+    def nodes_per_subgraph(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for subgraph, _ in self.entries:
+            counts[subgraph.subgraph_id] = counts.get(subgraph.subgraph_id, 0) + 1
+        return counts
+
+    # -- real-compute execution ---------------------------------------------
+
+    def execute(self) -> None:
+        """Gather -> batched compute -> scatter (real-compute mode).
+
+        Requires every NodeOutput dependency to have been executed already;
+        the scheduler guarantees this via FIFO submission order on a pinned
+        worker plus release-after-external-completion.
+        """
+        cell = self.cell_type
+        batched_inputs: Dict[str, np.ndarray] = {}
+        for name in cell.input_names:
+            rows = []
+            for subgraph, node in self.entries:
+                ref = node.inputs[name]
+                if isinstance(ref, ValueInput):
+                    rows.append(np.asarray(ref.value))
+                else:
+                    producer = subgraph.graph.node(ref.node_id)
+                    if producer.outputs is None:
+                        raise RuntimeError(
+                            f"task {self.task_id}: node {node.node_id} input "
+                            f"{name!r} depends on unexecuted node {ref.node_id}"
+                        )
+                    rows.append(np.asarray(producer.outputs[ref.output]))
+            batched_inputs[name] = ops.stack_rows(rows)
+        batched_outputs = cell.compute(batched_inputs)
+        for name in cell.output_names:
+            out = batched_outputs[name]
+            for i, (_, node) in enumerate(self.entries):
+                if node.outputs is None:
+                    node.outputs = {}
+                node.outputs[name] = out[i]
+        for _, node in self.entries:
+            node.launched = True
+
+    def mark_launched_sim(self) -> None:
+        """Simulation-only mode: record launch without computing values."""
+        for _, node in self.entries:
+            node.launched = True
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchedTask {self.task_id} type={self.cell_type.name!r} "
+            f"batch={self.batch_size} worker={self.worker_id}>"
+        )

@@ -1,0 +1,96 @@
+"""Workers: one per GPU device.
+
+A worker receives batched tasks from the scheduler, launches their kernels
+asynchronously on its device's FIFO stream (so dependent tasks submitted in
+order need no synchronisation, §5), and reports completions back to the
+manager through the signal-kernel callback — the simulation analogue of the
+pinned-host signal variable the polling thread watches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.task import BatchedTask
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import GPUDevice
+from repro.sim.events import EventLoop
+
+
+class Worker:
+    """Executes batched tasks on one (simulated) GPU."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        device: GPUDevice,
+        cost_model: CostModel,
+        loop: EventLoop,
+        on_task_complete: Callable[["Worker", BatchedTask], None],
+        real_compute: bool = False,
+    ):
+        self.worker_id = worker_id
+        self.device = device
+        self.cost_model = cost_model
+        self.loop = loop
+        self._on_task_complete = on_task_complete
+        self.real_compute = real_compute
+        self.outstanding = 0
+        self.tasks_executed = 0
+        self.busy_time = 0.0
+        self.gathers_performed = 0
+        # Batch composition (subgraph-id set) of the most recently submitted
+        # task: an identical composition needs no gather copy (§4.3).
+        self._last_composition = None
+
+    def submit(self, task: BatchedTask, extra_cost: float = 0.0) -> None:
+        """Accept a task: run the (NumPy) computation in stream order and
+        reserve the modelled device time.
+
+        In real-compute mode the gather/compute/scatter happens here, at
+        submission: tasks are submitted in dependency order (FIFO stream on
+        a pinned worker; cross-subgraph release only after completion), so
+        every input row is already materialised.
+        """
+        if task.worker_id is not None:
+            raise RuntimeError(f"task {task.task_id} submitted twice")
+        task.worker_id = self.worker_id
+        task.submit_time = self.loop.now()
+        if self.real_compute:
+            task.execute()
+        else:
+            task.mark_launched_sim()
+        composition = frozenset(
+            subgraph.subgraph_id for subgraph in task.subgraphs()
+        )
+        needs_gather = composition != self._last_composition
+        self._last_composition = composition
+        if needs_gather:
+            self.gathers_performed += 1
+        duration = self.cost_model.task_time(
+            task.cell_type.name,
+            task.batch_size,
+            num_operators=task.cell_type.num_operators(),
+            include_gather=needs_gather,
+        ) + extra_cost
+        task.duration = duration
+        self.outstanding += 1
+        self.device.run_for(
+            duration,
+            on_complete=lambda: self._complete(task),
+            tag=(task.cell_type.name, task.batch_size),
+        )
+
+    def _complete(self, task: BatchedTask) -> None:
+        task.finish_time = self.loop.now()
+        self.outstanding -= 1
+        self.tasks_executed += 1
+        self.busy_time += task.duration or 0.0
+        self._on_task_complete(self, task)
+
+    def is_idle(self) -> bool:
+        """No submitted-but-unretired tasks; the scheduler refills on idle."""
+        return self.outstanding == 0
+
+    def __repr__(self) -> str:
+        return f"<Worker {self.worker_id} outstanding={self.outstanding}>"

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each ``figN_*`` module exposes ``run(quick=False) -> dict`` returning the
+figure's series, and a module-level ``main()`` that prints them as text
+tables.  ``repro.experiments.runner`` is the CLI entry point
+(``python -m repro.experiments.runner <fig|all> [--quick]``).
+
+Scale note: ``quick=True`` shrinks request counts and sweep points so the
+whole suite runs in seconds (used by the pytest benchmarks); the default
+scale reproduces the paper-shaped curves in minutes.
+"""

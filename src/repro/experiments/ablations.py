@@ -1,0 +1,219 @@
+"""Ablations of BatchMaker's design choices (DESIGN.md §5).
+
+Not figures from the paper, but quantifications of the mechanisms the paper
+argues for:
+
+* **MaxTasksToSubmit** — §7.3 bounds new-request queuing by
+  MaxTasksToSubmit x per-step time; larger values trade join latency for
+  fewer scheduling rounds.
+* **Subgraph pinning** — §4.3 pins subgraphs to workers for locality; the
+  ablation disables pinning (dependencies then advance on completion, and
+  cross-GPU copies are charged).
+* **Per-task overhead** — §7.3 measures ~65 us of scheduling+gather per
+  task; sweeping it shows how close BatchMaker gets to ideal throughput.
+* **Priority** — decoder-priority vs flat priority for Seq2Seq.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.experiments import common
+from repro.gpu.costmodel import CostModel, v100_lstm_step_table
+from repro.metrics.summary import format_table
+from repro.models import LSTMChainModel, Seq2SeqModel
+from repro.workload import Seq2SeqDataset, SequenceDataset
+
+
+def max_tasks_sweep(quick: bool = False) -> List[Dict]:
+    """p99 queuing time vs MaxTasksToSubmit at moderate LSTM load."""
+    rate = 5000.0
+    num = 3000 if quick else 12000
+    rows = []
+    for limit in (1, 2, 5, 10, 20):
+        server = BatchMakerServer(
+            LSTMChainModel(),
+            config=BatchingConfig.with_max_batch(512, max_tasks_to_submit=limit),
+            name=f"BM(mts={limit})",
+        )
+        summary = common.run_point(
+            server, lambda: SequenceDataset(seed=1), rate, num
+        )
+        rows.append(
+            {
+                "max_tasks_to_submit": limit,
+                "p99_queuing_ms": 1e3 * summary.stats.p(99, "queuing"),
+                "p90_latency_ms": summary.p90_ms,
+                "throughput": summary.throughput,
+            }
+        )
+    return rows
+
+
+def pinning_ablation(quick: bool = False) -> List[Dict]:
+    """Pinned vs unpinned subgraph scheduling on 4 GPUs (LSTM)."""
+    num = 3000 if quick else 12000
+    rows = []
+    for rate in (10000.0,) if quick else (10000.0, 30000.0, 50000.0):
+        for pinning in (True, False):
+            server = BatchMakerServer(
+                LSTMChainModel(),
+                config=BatchingConfig.with_max_batch(512, pinning=pinning),
+                num_gpus=4,
+                name=f"BM(pinning={'on' if pinning else 'off'})",
+            )
+            summary = common.run_point(
+                server, lambda: SequenceDataset(seed=1), rate, num
+            )
+            rows.append(
+                {
+                    "rate": rate,
+                    "pinning": pinning,
+                    "p90_latency_ms": summary.p90_ms,
+                    "throughput": summary.throughput,
+                }
+            )
+    return rows
+
+
+def overhead_sweep(quick: bool = False) -> List[Dict]:
+    """Fixed-length throughput vs per-task scheduling/gather overhead."""
+    from repro.workload import FixedLengthDataset
+
+    rate = 26000.0
+    num = 4000 if quick else 20000
+    rows = []
+    for overhead_us in (0, 35, 65, 130, 260):
+        # Sweep the *total* per-task overhead (scheduling + gather).
+        cost = CostModel(
+            per_task_overhead=overhead_us * 1e-6, gather_overhead=0.0
+        )
+        cost.register("lstm", v100_lstm_step_table())
+        server = BatchMakerServer(
+            LSTMChainModel(),
+            config=BatchingConfig.with_max_batch(512),
+            cost_model=cost,
+            name=f"BM(ovh={overhead_us}us)",
+        )
+        summary = common.run_point(
+            server, lambda: FixedLengthDataset(24), rate, num
+        )
+        rows.append(
+            {
+                "overhead_us": overhead_us,
+                "throughput": summary.throughput,
+                "fraction_of_analytic_max": summary.throughput
+                / (512 / (24 * 784e-6)),
+            }
+        )
+    return rows
+
+
+def priority_ablation(quick: bool = False) -> List[Dict]:
+    """Decoder-priority vs flat priority for Seq2Seq (2 GPUs).
+
+    Run near saturation, where the choice of which cell type to execute
+    first actually binds."""
+    rate = 7500.0
+    num = 3000 if quick else 10000
+    rows = []
+    for decoder_priority in (1, 0):
+        config = BatchingConfig.with_max_batch(
+            512,
+            per_cell_max={"decoder": 256},
+            per_cell_priority={"decoder": decoder_priority, "encoder": 0},
+        )
+        server = BatchMakerServer(
+            Seq2SeqModel(),
+            config=config,
+            num_gpus=2,
+            name=f"BM(dec-prio={decoder_priority})",
+        )
+        summary = common.run_point(
+            server, lambda: Seq2SeqDataset(seed=5), rate, num
+        )
+        rows.append(
+            {
+                "decoder_priority": decoder_priority,
+                "p90_latency_ms": summary.p90_ms,
+                "throughput": summary.throughput,
+            }
+        )
+    return rows
+
+
+def run(quick: bool = False) -> Dict[str, List[Dict]]:
+    return {
+        "max_tasks_to_submit": max_tasks_sweep(quick),
+        "pinning": pinning_ablation(quick),
+        "overhead": overhead_sweep(quick),
+        "priority": priority_ablation(quick),
+    }
+
+
+def main(quick: bool = False) -> Dict:
+    results = run(quick=quick)
+    print("\n== Ablation: MaxTasksToSubmit (LSTM @5K req/s) ==")
+    print(
+        format_table(
+            ["limit", "p99 queuing ms", "p90 latency ms", "throughput"],
+            [
+                [
+                    str(r["max_tasks_to_submit"]),
+                    f"{r['p99_queuing_ms']:.2f}",
+                    f"{r['p90_latency_ms']:.2f}",
+                    f"{r['throughput']:.0f}",
+                ]
+                for r in results["max_tasks_to_submit"]
+            ],
+        )
+    )
+    print("\n== Ablation: subgraph pinning (LSTM, 4 GPUs) ==")
+    print(
+        format_table(
+            ["rate", "pinning", "p90 latency ms", "throughput"],
+            [
+                [
+                    f"{r['rate']:.0f}",
+                    "on" if r["pinning"] else "off",
+                    f"{r['p90_latency_ms']:.2f}",
+                    f"{r['throughput']:.0f}",
+                ]
+                for r in results["pinning"]
+            ],
+        )
+    )
+    print("\n== Ablation: per-task overhead (fixed-length LSTM @26K req/s) ==")
+    print(
+        format_table(
+            ["overhead us", "throughput", "fraction of analytic max"],
+            [
+                [
+                    str(r["overhead_us"]),
+                    f"{r['throughput']:.0f}",
+                    f"{r['fraction_of_analytic_max']:.0%}",
+                ]
+                for r in results["overhead"]
+            ],
+        )
+    )
+    print("\n== Ablation: decoder priority (Seq2Seq @4K req/s, 2 GPUs) ==")
+    print(
+        format_table(
+            ["decoder priority", "p90 latency ms", "throughput"],
+            [
+                [
+                    str(r["decoder_priority"]),
+                    f"{r['p90_latency_ms']:.2f}",
+                    f"{r['throughput']:.0f}",
+                ]
+                for r in results["priority"]
+            ],
+        )
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,173 @@
+"""Shared helpers for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import FoldServer, PaddedServer
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.metrics.summary import RunSummary, format_table
+from repro.models import LSTMChainModel, Seq2SeqModel, TreeLSTMModel
+from repro.server import InferenceServer
+from repro.workload import LoadGenerator
+
+# Per-batch fixed overheads for the two padding baselines: in the paper's
+# Figure 7 TensorFlow tracks MXNet closely but slightly worse; the gap is a
+# per-graph-dispatch constant.
+MXNET_BATCH_OVERHEAD = 80e-6
+TENSORFLOW_BATCH_OVERHEAD = 150e-6
+
+
+def lstm_batchmaker(max_batch: int = 512, num_gpus: int = 1) -> BatchMakerServer:
+    """BatchMaker serving the chain LSTM with the paper's defaults."""
+    return BatchMakerServer(
+        LSTMChainModel(),
+        config=BatchingConfig.with_max_batch(max_batch),
+        num_gpus=num_gpus,
+        name="BatchMaker",
+    )
+
+
+def lstm_padded(
+    system: str = "MXNet",
+    bucket_width: int = 10,
+    max_batch: int = 512,
+    num_gpus: int = 1,
+) -> PaddedServer:
+    """MXNet- or TensorFlow-flavoured padding baseline for the chain LSTM."""
+    overhead = (
+        MXNET_BATCH_OVERHEAD if system == "MXNet" else TENSORFLOW_BATCH_OVERHEAD
+    )
+    return PaddedServer(
+        LSTMChainModel(),
+        bucket_width=bucket_width,
+        max_batch=max_batch,
+        num_gpus=num_gpus,
+        per_batch_overhead=overhead,
+        name=system,
+    )
+
+
+def seq2seq_batchmaker(
+    encoder_batch: int = 512, decoder_batch: int = 256, num_gpus: int = 2
+) -> BatchMakerServer:
+    """BatchMaker-<enc>,<dec> configuration from Figure 13."""
+    config = BatchingConfig.with_max_batch(
+        encoder_batch,
+        per_cell_max={"decoder": decoder_batch},
+        per_cell_priority={"decoder": 1, "encoder": 0},
+    )
+    return BatchMakerServer(
+        Seq2SeqModel(),
+        config=config,
+        num_gpus=num_gpus,
+        name=f"BatchMaker-{encoder_batch},{decoder_batch}",
+    )
+
+
+def seq2seq_padded(system: str = "MXNet", num_gpus: int = 2) -> PaddedServer:
+    overhead = (
+        MXNET_BATCH_OVERHEAD if system == "MXNet" else TENSORFLOW_BATCH_OVERHEAD
+    )
+    return PaddedServer(
+        Seq2SeqModel(),
+        bucket_width=10,
+        max_batch=256,  # decoder-optimal; graph batching forces one size
+        num_gpus=num_gpus,
+        per_batch_overhead=overhead,
+        name=system,
+    )
+
+
+def tree_batchmaker(max_batch: int = 64, num_gpus: int = 1) -> BatchMakerServer:
+    config = BatchingConfig.with_max_batch(
+        max_batch,
+        per_cell_priority={"tree_internal": 1, "tree_leaf": 0},
+    )
+    return BatchMakerServer(
+        TreeLSTMModel(), config=config, num_gpus=num_gpus, name="BatchMaker"
+    )
+
+
+def tree_dynet(num_gpus: int = 1) -> FoldServer:
+    return FoldServer.dynet(TreeLSTMModel(), num_gpus=num_gpus)
+
+
+def tree_tensorflow_fold(num_gpus: int = 1) -> FoldServer:
+    return FoldServer.tensorflow_fold(TreeLSTMModel(), num_gpus=num_gpus)
+
+
+def run_point(
+    server: InferenceServer,
+    dataset_factory: Callable[[], Any],
+    rate: float,
+    num_requests: int,
+    seed: int = 7,
+) -> RunSummary:
+    """One load point: fresh dataset, Poisson arrivals, full drain."""
+    generator = LoadGenerator(rate=rate, num_requests=num_requests, seed=seed)
+    result = generator.run(server, dataset_factory())
+    return result.summary
+
+
+def sweep(
+    server_factory: Callable[[], InferenceServer],
+    dataset_factory: Callable[[], Any],
+    rates: Sequence[float],
+    num_requests_for: Callable[[float], int],
+    seed: int = 7,
+) -> List[RunSummary]:
+    """A throughput-latency curve: one fresh server per load point."""
+    summaries = []
+    for rate in rates:
+        summaries.append(
+            run_point(
+                server_factory(),
+                dataset_factory,
+                rate,
+                num_requests_for(rate),
+                seed=seed,
+            )
+        )
+    return summaries
+
+
+def default_request_count(quick: bool) -> Callable[[float], int]:
+    """Scale the request count with the rate so every point simulates a
+    comparable time horizon (~1 s quick / ~2 s full, floor applied)."""
+    if quick:
+        return lambda rate: int(max(1500, min(rate * 0.6, 6000)))
+    return lambda rate: int(max(4000, min(rate * 2.0, 40000)))
+
+
+def print_sweep(title: str, summaries_by_system: Dict[str, List[RunSummary]]) -> None:
+    """Render Figure-7-style curves as a text table."""
+    print(f"\n== {title} ==")
+    rows = []
+    for system, summaries in summaries_by_system.items():
+        for s in summaries:
+            rows.append(
+                [
+                    system,
+                    f"{s.offered_rate:.0f}",
+                    f"{s.throughput:.0f}",
+                    f"{s.p50_ms:.2f}",
+                    f"{s.p90_ms:.2f}",
+                    f"{s.p99_ms:.2f}",
+                ]
+            )
+    print(
+        format_table(
+            ["system", "offered req/s", "achieved req/s", "p50 ms", "p90 ms", "p99 ms"],
+            rows,
+        )
+    )
+
+
+def peak_throughput(summaries: List[RunSummary], latency_cap_ms: float = 500.0) -> float:
+    """Peak achieved throughput among points whose p90 stays under the cap —
+    how the paper quotes 'peak throughput' (curves are cut at ~500 ms)."""
+    eligible = [s.throughput for s in summaries if s.p90_ms <= latency_cap_ms]
+    if not eligible:
+        eligible = [min(s.throughput for s in summaries)]
+    return max(eligible)

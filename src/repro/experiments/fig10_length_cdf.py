@@ -1,0 +1,68 @@
+"""Figure 10: CDF of sentence lengths in the (synthetic) WMT-15 dataset.
+
+The sampler is calibrated to the statistics the paper publishes: average
+length 24, maximum 330, ~99% of sentences shorter than 100.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.metrics.summary import format_table
+from repro.workload.lengths import WMTLengthSampler
+
+CHECKPOINTS = (10, 24, 50, 100, 200, 330)
+
+
+def run(quick: bool = False) -> Dict:
+    n = 10000 if quick else 100000
+    lengths = WMTLengthSampler(seed=0).sample(n)
+    return {
+        "n": n,
+        "mean": float(np.mean(lengths)),
+        "p50": float(np.percentile(lengths, 50)),
+        "p90": float(np.percentile(lengths, 90)),
+        "p99": float(np.percentile(lengths, 99)),
+        "max": int(np.max(lengths)),
+        "cdf": {c: float(np.mean(lengths <= c)) for c in CHECKPOINTS},
+    }
+
+
+def main(quick: bool = False) -> Dict:
+    result = run(quick=quick)
+    print("\n== Fig 10: sequence-length CDF (synthetic WMT-15 Europarl) ==")
+    rows = [[str(c), f"{result['cdf'][c] * 100:.1f}%"] for c in CHECKPOINTS]
+    print(format_table(["length <=", "fraction"], rows))
+    print(
+        f"mean {result['mean']:.1f} (paper 24), max {result['max']} (paper 330), "
+        f"P(len<100) {result['cdf'][100] * 100:.1f}% (paper ~99%)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()
+
+
+def plot(results: Dict, out_dir):
+    """Render Fig 10 as an SVG CDF chart."""
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.plot import cdf_chart
+    from repro.workload.lengths import WMTLengthSampler, length_cdf
+
+    lengths = WMTLengthSampler(seed=0).sample(results["n"])
+    points = length_cdf(lengths)
+    chart = cdf_chart(
+        "Fig 10: sequence-length CDF (synthetic WMT-15)",
+        {"WMT-15-like lengths": [(float(v), f) for v, f in points]},
+        x_label="Sequence length",
+        x_log=False,
+    )
+    path = Path(out_dir) / "fig10_length_cdf.svg"
+    chart.save(path)
+    return [str(path)]

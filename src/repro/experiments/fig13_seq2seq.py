@@ -1,0 +1,99 @@
+"""Figure 13: Seq2Seq on 2 and 4 GPUs.
+
+BatchMaker-512,256 (per-cell-type max batch: encoder 512, decoder 256) and
+BatchMaker-256,256 vs the padding baselines at max batch 256 (graph
+batching forces one batch size for the whole graph, so the baselines run
+at the decoder-optimal 256).  Expected shape: BatchMaker peaks ~2x the
+baselines and stays flat far longer; the 512,256 configuration adds a few
+percent of throughput over 256,256.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments import common
+from repro.workload import Seq2SeqDataset
+
+FULL_RATES_2GPU: Sequence[float] = (1000, 2000, 4000, 6000, 8000, 9500, 11000)
+FULL_RATES_4GPU: Sequence[float] = (2000, 4000, 8000, 12000, 16000, 19000, 22000)
+QUICK_RATES_2GPU: Sequence[float] = (2000, 6000, 10000)
+QUICK_RATES_4GPU: Sequence[float] = (4000, 12000, 20000)
+
+
+def run(quick: bool = False, num_gpus: int = 2) -> Dict[str, List]:
+    if num_gpus == 2:
+        rates = QUICK_RATES_2GPU if quick else FULL_RATES_2GPU
+    else:
+        rates = QUICK_RATES_4GPU if quick else FULL_RATES_4GPU
+    count = common.default_request_count(quick)
+    dataset = lambda: Seq2SeqDataset(seed=5)
+    return {
+        "BatchMaker-512,256": common.sweep(
+            lambda: common.seq2seq_batchmaker(512, 256, num_gpus),
+            dataset,
+            rates,
+            count,
+        ),
+        "BatchMaker-256,256": common.sweep(
+            lambda: common.seq2seq_batchmaker(256, 256, num_gpus),
+            dataset,
+            rates,
+            count,
+        ),
+        "MXNet": common.sweep(
+            lambda: common.seq2seq_padded("MXNet", num_gpus), dataset, rates, count
+        ),
+        "TensorFlow": common.sweep(
+            lambda: common.seq2seq_padded("TensorFlow", num_gpus),
+            dataset,
+            rates,
+            count,
+        ),
+    }
+
+
+def main(quick: bool = False) -> Dict:
+    results = {}
+    for num_gpus in (2, 4):
+        sub = run(quick=quick, num_gpus=num_gpus)
+        results[num_gpus] = sub
+        common.print_sweep(
+            f"Fig 13{'a' if num_gpus == 2 else 'b'}: Seq2Seq, {num_gpus} GPUs", sub
+        )
+        best = common.peak_throughput(sub["BatchMaker-512,256"])
+        alt = common.peak_throughput(sub["BatchMaker-256,256"])
+        base = max(
+            common.peak_throughput(sub["MXNet"]),
+            common.peak_throughput(sub["TensorFlow"]),
+        )
+        print(
+            f"peaks: BM-512,256 {best:.0f}, BM-256,256 {alt:.0f}, best baseline "
+            f"{base:.0f} req/s; 512,256 vs 256,256: {best / alt - 1:+.1%} "
+            "(paper: +3.5-6%)"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    main()
+
+
+def plot(results: Dict, out_dir):
+    """Render Fig 13a/13b as SVG throughput-latency charts."""
+    from pathlib import Path
+
+    from repro.plot import sweep_chart
+
+    paths = []
+    for num_gpus, by_system in results.items():
+        suffix = "a" if num_gpus == 2 else "b"
+        chart = sweep_chart(
+            f"Fig 13{suffix}: Seq2Seq, {num_gpus} GPUs",
+            by_system,
+            latency_cap_ms=800,
+        )
+        path = Path(out_dir) / f"fig13{suffix}_seq2seq_{num_gpus}gpu.svg"
+        chart.save(path)
+        paths.append(str(path))
+    return paths

@@ -1,0 +1,59 @@
+"""Figure 14: TreeLSTM on the (synthetic) TreeBank dataset, max batch 64.
+
+BatchMaker vs DyNet vs TensorFlow Fold.  Expected shape (paper): TF Fold
+saturates first (~0.8K req/s; its graph construction/merge dominates),
+DyNet reaches ~2.1K, BatchMaker ~3.1K — i.e. ~1.8x DyNet and ~4x TF Fold —
+and at moderate load (1K req/s) BatchMaker's p90 beats DyNet's by ~28%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments import common
+from repro.workload import TreeDataset
+
+FULL_RATES: Sequence[float] = (250, 500, 1000, 1500, 2000, 2500, 3000, 3500)
+QUICK_RATES: Sequence[float] = (500, 1500, 3500)
+
+
+def run(quick: bool = False) -> Dict[str, List]:
+    rates = QUICK_RATES if quick else FULL_RATES
+    count = lambda rate: int(max(1000, min(rate * (0.8 if quick else 2.0), 7000)))
+    dataset = lambda: TreeDataset(seed=2)
+    return {
+        "BatchMaker": common.sweep(common.tree_batchmaker, dataset, rates, count),
+        "DyNet": common.sweep(common.tree_dynet, dataset, rates, count),
+        "TF Fold": common.sweep(common.tree_tensorflow_fold, dataset, rates, count),
+    }
+
+
+def main(quick: bool = False) -> Dict:
+    results = run(quick=quick)
+    common.print_sweep("Fig 14: TreeLSTM on TreeBank-like trees, bmax=64", results)
+    bm = common.peak_throughput(results["BatchMaker"])
+    dy = common.peak_throughput(results["DyNet"])
+    tf = common.peak_throughput(results["TF Fold"], latency_cap_ms=3000)
+    print(
+        f"peaks: BatchMaker {bm:.0f}, DyNet {dy:.0f}, TF Fold {tf:.0f} req/s; "
+        f"BM/DyNet {bm / dy:.1f}x (paper 1.8x), BM/Fold {bm / tf:.1f}x (paper 4x)"
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()
+
+
+def plot(results: Dict, out_dir) -> List[str]:
+    """Render Fig 14 as an SVG throughput-latency chart."""
+    from pathlib import Path
+
+    from repro.plot import sweep_chart
+
+    chart = sweep_chart(
+        "Fig 14: TreeLSTM on TreeBank-like trees", results, latency_cap_ms=200
+    )
+    path = Path(out_dir) / "fig14_treelstm.svg"
+    chart.save(path)
+    return [str(path)]

@@ -1,0 +1,73 @@
+"""Figure 15: TreeLSTM on identical complete binary trees (16 leaves).
+
+Against an "ideal" baseline that hard-codes the fixed tree as one dataflow
+graph with zero scheduling overhead.  Expected shape: BatchMaker's peak is
+~30% below ideal (it pays per-task scheduling/gather overhead), but its
+latency is *lower* than ideal's — a request can leave as soon as its root
+finishes and can join mid-flight instead of waiting out whole batches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines import IdealServer
+from repro.experiments import common
+from repro.models import TreeLSTMModel
+from repro.models.tree_lstm import TreeNodeSpec, TreePayload
+from repro.workload import TreeDataset
+
+FULL_RATES: Sequence[float] = (500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000)
+QUICK_RATES: Sequence[float] = (1000, 4000, 8000)
+NUM_LEAVES = 16
+
+
+def _ideal_server() -> IdealServer:
+    template = TreePayload(TreeNodeSpec.complete(NUM_LEAVES))
+    return IdealServer(TreeLSTMModel(), template, max_batch=64)
+
+
+def run(quick: bool = False) -> Dict[str, List]:
+    rates = QUICK_RATES if quick else FULL_RATES
+    count = lambda rate: int(max(1500, min(rate * (0.8 if quick else 2.0), 10000)))
+    dataset = lambda: TreeDataset(seed=2, fixed_complete_leaves=NUM_LEAVES)
+    return {
+        "Ideal": common.sweep(_ideal_server, dataset, rates, count),
+        "BatchMaker": common.sweep(common.tree_batchmaker, dataset, rates, count),
+        "DyNet": common.sweep(common.tree_dynet, dataset, rates, count),
+        "TF Fold": common.sweep(common.tree_tensorflow_fold, dataset, rates, count),
+    }
+
+
+def main(quick: bool = False) -> Dict:
+    results = run(quick=quick)
+    common.print_sweep(
+        f"Fig 15: identical complete binary trees ({NUM_LEAVES} leaves)", results
+    )
+    ideal = common.peak_throughput(results["Ideal"])
+    bm = common.peak_throughput(results["BatchMaker"])
+    print(
+        f"peaks: Ideal {ideal:.0f}, BatchMaker {bm:.0f} req/s — BatchMaker at "
+        f"{bm / ideal:.0%} of ideal (paper: ~70%)"
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()
+
+
+def plot(results: Dict, out_dir) -> List[str]:
+    """Render Fig 15 as an SVG throughput-latency chart."""
+    from pathlib import Path
+
+    from repro.plot import sweep_chart
+
+    chart = sweep_chart(
+        "Fig 15: identical complete binary trees (16 leaves)",
+        results,
+        latency_cap_ms=200,
+    )
+    path = Path(out_dir) / "fig15_fixed_tree.svg"
+    chart.save(path)
+    return [str(path)]

@@ -1,0 +1,78 @@
+"""Figure 3: latency vs throughput of one LSTM step across batch sizes.
+
+Reports the calibrated cost-model curves for the simulated GPU (V100-like)
+and CPU (Xeon-like), and optionally measures the actual NumPy LSTM cell at
+h=1024 on the host to show the same flat -> sublinear -> linear shape.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.gpu.costmodel import cpu_lstm_step_table, v100_lstm_step_table
+from repro.metrics.summary import format_table
+
+BATCH_SIZES = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+
+
+def run(quick: bool = False, measure_numpy: bool = False) -> Dict:
+    """Return {'gpu': [(b, time_s, throughput)], 'cpu': [...], 'numpy': [...]}"""
+    gpu = v100_lstm_step_table()
+    cpu = cpu_lstm_step_table()
+    batches = BATCH_SIZES[: 8 if quick else len(BATCH_SIZES)]
+    result = {
+        "gpu": [(b, gpu(b), gpu.throughput(b)) for b in batches],
+        "cpu": [(b, cpu(b), cpu.throughput(b)) for b in batches],
+        "gpu_best_batch": gpu.best_batch(BATCH_SIZES),
+        "cpu_best_batch": cpu.best_batch(BATCH_SIZES),
+    }
+    if measure_numpy:
+        result["numpy"] = _measure_numpy(batches[: 6 if quick else 9])
+    return result
+
+
+def _measure_numpy(batches: List[int], hidden: int = 1024) -> List[tuple]:
+    """Wall-clock one fused LSTM step on the host BLAS."""
+    from repro.cells.lstm import LSTMCell
+    from repro.tensor.parameters import ParameterStore
+
+    cell = LSTMCell("bench", hidden, hidden, ParameterStore(seed=0))
+    points = []
+    for b in batches:
+        x = np.random.default_rng(0).standard_normal((b, hidden)).astype(np.float32)
+        state = cell.zero_state(b)
+        inputs = {"x": x, "h": state["h"], "c": state["c"]}
+        cell(inputs)  # warm up
+        reps = max(1, int(2e6 / (b * hidden)))
+        start = time.perf_counter()
+        for _ in range(reps):
+            cell(inputs)
+        elapsed = (time.perf_counter() - start) / reps
+        points.append((b, elapsed, b / elapsed))
+    return points
+
+
+def main(quick: bool = False, measure_numpy: bool = False) -> Dict:
+    result = run(quick=quick, measure_numpy=measure_numpy)
+    for device in ("gpu", "cpu"):
+        rows = [
+            [str(b), f"{t * 1e6:.0f}", f"{thr:.0f}"]
+            for b, t, thr in result[device]
+        ]
+        print(f"\n== Fig 3 ({device.upper()} model): single LSTM step, h=1024 ==")
+        print(format_table(["batch", "exec time (us)", "throughput (ops/s)"], rows))
+        print(f"throughput-optimal batch: {result[f'{device}_best_batch']}")
+    if "numpy" in result:
+        rows = [
+            [str(b), f"{t * 1e6:.0f}", f"{thr:.0f}"] for b, t, thr in result["numpy"]
+        ]
+        print("\n== Fig 3 (measured host NumPy LSTM step, h=1024) ==")
+        print(format_table(["batch", "exec time (us)", "throughput (ops/s)"], rows))
+    return result
+
+
+if __name__ == "__main__":
+    main(measure_numpy=True)

@@ -1,0 +1,83 @@
+"""Figure 7: LSTM latency vs throughput on 1 GPU (bmax 512 and 64).
+
+BatchMaker vs the MXNet- and TensorFlow-flavoured padding baselines (bucket
+width 10) on the WMT-15-like dataset.  Expected shape: BatchMaker's p90
+stays low and flat until high load with peak ~20K req/s; the baselines
+start higher (~25 ms) and blow past 500 ms well before BatchMaker peaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments import common
+from repro.workload import SequenceDataset
+
+FULL_RATES: Sequence[float] = (1000, 2000, 5000, 8000, 12000, 16000, 20000, 22000)
+QUICK_RATES: Sequence[float] = (2000, 8000, 16000)
+
+
+def run(quick: bool = False, max_batch: int = 512) -> Dict[str, List]:
+    rates = QUICK_RATES if quick else FULL_RATES
+    count = common.default_request_count(quick)
+    dataset = lambda: SequenceDataset(seed=1)
+    return {
+        "BatchMaker": common.sweep(
+            lambda: common.lstm_batchmaker(max_batch=max_batch), dataset, rates, count
+        ),
+        "MXNet": common.sweep(
+            lambda: common.lstm_padded("MXNet", max_batch=max_batch),
+            dataset,
+            rates,
+            count,
+        ),
+        "TensorFlow": common.sweep(
+            lambda: common.lstm_padded("TensorFlow", max_batch=max_batch),
+            dataset,
+            rates,
+            count,
+        ),
+    }
+
+
+def main(quick: bool = False) -> Dict:
+    results = {}
+    for max_batch in (512, 64):
+        sub = run(quick=quick, max_batch=max_batch)
+        results[max_batch] = sub
+        common.print_sweep(
+            f"Fig 7{'a' if max_batch == 512 else 'b'}: LSTM, 1 GPU, bmax={max_batch}",
+            sub,
+        )
+        bm_peak = common.peak_throughput(sub["BatchMaker"])
+        base_peak = max(
+            common.peak_throughput(sub["MXNet"]),
+            common.peak_throughput(sub["TensorFlow"]),
+        )
+        print(
+            f"peak throughput: BatchMaker {bm_peak:.0f} req/s vs best baseline "
+            f"{base_peak:.0f} req/s ({bm_peak / base_peak - 1:+.0%}; paper: +25%)"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    main()
+
+
+def plot(results: Dict, out_dir) -> List[str]:
+    """Render Fig 7a/7b as SVG throughput-latency charts."""
+    from pathlib import Path
+
+    from repro.plot import sweep_chart
+
+    paths = []
+    for max_batch, by_system in results.items():
+        suffix = "a" if max_batch == 512 else "b"
+        chart = sweep_chart(
+            f"Fig 7{suffix}: LSTM, 1 GPU, bmax={max_batch}", by_system
+        )
+        path = Path(out_dir) / f"fig7{suffix}_lstm_bmax{max_batch}.svg"
+        chart.save(path)
+        paths.append(str(path))
+    return paths

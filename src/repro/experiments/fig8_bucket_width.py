@@ -1,0 +1,61 @@
+"""Figure 8: the bucket-width trade-off for the padding baseline (MXNet).
+
+Fine buckets (width 1) minimise padding waste but multiply the number of
+buckets a request waits behind under round-robin; coarse buckets (width 40)
+shorten the wait but waste computation.  Width 10 is the paper's chosen
+compromise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments import common
+from repro.workload import SequenceDataset
+
+WIDTHS: Sequence[int] = (1, 5, 10, 20, 40)
+FULL_RATES: Sequence[float] = (1000, 2000, 5000, 8000, 12000, 16000)
+QUICK_RATES: Sequence[float] = (2000, 8000)
+
+
+def run(quick: bool = False) -> Dict[str, List]:
+    rates = QUICK_RATES if quick else FULL_RATES
+    count = common.default_request_count(quick)
+    dataset = lambda: SequenceDataset(seed=1)
+    results = {}
+    for width in WIDTHS:
+        results[f"bw {width}"] = common.sweep(
+            lambda w=width: common.lstm_padded("MXNet", bucket_width=w),
+            dataset,
+            rates,
+            count,
+        )
+    return results
+
+
+def main(quick: bool = False) -> Dict:
+    results = run(quick=quick)
+    common.print_sweep("Fig 8: MXNet bucket-width sweep (bmax=512, 1 GPU)", results)
+    for label, summaries in results.items():
+        low_load = summaries[0]
+        print(
+            f"{label}: low-load p90 {low_load.p90_ms:.2f} ms, "
+            f"peak {common.peak_throughput(summaries):.0f} req/s"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    main()
+
+
+def plot(results: Dict, out_dir) -> List[str]:
+    """Render Fig 8 as an SVG throughput-latency chart."""
+    from pathlib import Path
+
+    from repro.plot import sweep_chart
+
+    chart = sweep_chart("Fig 8: MXNet bucket-width sweep", results)
+    path = Path(out_dir) / "fig8_bucket_width.svg"
+    chart.save(path)
+    return [str(path)]

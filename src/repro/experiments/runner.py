@@ -1,0 +1,91 @@
+"""CLI entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.runner all --quick
+    python -m repro.experiments.runner fig7 fig14
+    batchmaker-experiments fig13          # via the console script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    fig3_microbench,
+    fig5_timeline,
+    fig7_lstm,
+    fig8_bucket_width,
+    fig9_breakdown,
+    fig10_length_cdf,
+    fig11_variance,
+    fig13_seq2seq,
+    fig14_treelstm,
+    fig15_fixed_tree,
+    summary,
+)
+
+EXPERIMENTS: Dict[str, Callable[..., dict]] = {
+    "fig3": fig3_microbench.main,
+    "fig5": fig5_timeline.main,
+    "fig7": fig7_lstm.main,
+    "fig8": fig8_bucket_width.main,
+    "fig9": fig9_breakdown.main,
+    "fig10": fig10_length_cdf.main,
+    "fig11": fig11_variance.main,
+    "fig13": fig13_seq2seq.main,
+    "fig14": fig14_treelstm.main,
+    "fig15": fig15_fixed_tree.main,
+    "ablations": ablations.main,
+    "summary": summary.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small request counts / fewer sweep points (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--plot-dir",
+        default=None,
+        help="also render each figure as SVG into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    if args.plot_dir is not None:
+        import os
+
+        os.makedirs(args.plot_dir, exist_ok=True)
+    for name in names:
+        start = time.time()
+        print(f"\n######## {name} ########")
+        results = EXPERIMENTS[name](quick=args.quick)
+        if args.plot_dir is not None:
+            module = sys.modules[EXPERIMENTS[name].__module__]
+            if hasattr(module, "plot"):
+                for path in module.plot(results, args.plot_dir):
+                    print(f"[wrote {path}]")
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

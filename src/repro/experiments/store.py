@@ -1,0 +1,150 @@
+"""Persistence for experiment results.
+
+Serialises the sweep structures the ``figN`` modules return (dicts of
+system -> [RunSummary]) to JSON, reloads them as lightweight records, and
+diffs two result sets — so a full run can be archived and regression-
+checked against a previous one (or against the paper's reference shape).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.metrics.summary import RunSummary
+
+
+class StoredPoint:
+    """One persisted load point (a deserialised RunSummary)."""
+
+    __slots__ = ("system", "offered_rate", "throughput", "p50_ms", "p90_ms", "p99_ms")
+
+    def __init__(self, system, offered_rate, throughput, p50_ms, p90_ms, p99_ms):
+        self.system = system
+        self.offered_rate = offered_rate
+        self.throughput = throughput
+        self.p50_ms = p50_ms
+        self.p90_ms = p90_ms
+        self.p99_ms = p99_ms
+
+    @classmethod
+    def from_summary(cls, summary: RunSummary) -> "StoredPoint":
+        return cls(
+            summary.system,
+            summary.offered_rate,
+            summary.throughput,
+            summary.p50_ms,
+            summary.p90_ms,
+            summary.p99_ms,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "system": self.system,
+            "offered_rate": self.offered_rate,
+            "throughput": self.throughput,
+            "p50_ms": self.p50_ms,
+            "p90_ms": self.p90_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StoredPoint":
+        return cls(
+            data["system"],
+            data["offered_rate"],
+            data["throughput"],
+            data["p50_ms"],
+            data["p90_ms"],
+            data["p99_ms"],
+        )
+
+
+class ResultStore:
+    """A named collection of sweeps persisted as one JSON document."""
+
+    def __init__(self):
+        self._sweeps: Dict[str, Dict[str, List[StoredPoint]]] = {}
+
+    def put_sweep(self, name: str, summaries_by_system: Dict[str, List]) -> None:
+        """Store a figure's sweep (accepts RunSummary or StoredPoint lists)."""
+        converted: Dict[str, List[StoredPoint]] = {}
+        for system, summaries in summaries_by_system.items():
+            converted[system] = [
+                s if isinstance(s, StoredPoint) else StoredPoint.from_summary(s)
+                for s in summaries
+            ]
+        self._sweeps[name] = converted
+
+    def sweep(self, name: str) -> Dict[str, List[StoredPoint]]:
+        if name not in self._sweeps:
+            raise KeyError(f"no stored sweep {name!r}; have {sorted(self._sweeps)}")
+        return self._sweeps[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._sweeps)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path) -> None:
+        document = {
+            name: {
+                system: [p.to_dict() for p in points]
+                for system, points in by_system.items()
+            }
+            for name, by_system in self._sweeps.items()
+        }
+        Path(path).write_text(json.dumps(document, indent=2))
+
+    @classmethod
+    def load(cls, path) -> "ResultStore":
+        store = cls()
+        document = json.loads(Path(path).read_text())
+        for name, by_system in document.items():
+            store._sweeps[name] = {
+                system: [StoredPoint.from_dict(p) for p in points]
+                for system, points in by_system.items()
+            }
+        return store
+
+    # -- comparison --------------------------------------------------------------
+
+    def compare(
+        self,
+        other: "ResultStore",
+        tolerance: float = 0.10,
+    ) -> List[str]:
+        """Differences beyond ``tolerance`` relative change; empty == match.
+
+        Compares throughput and p90 at matching (sweep, system, rate)
+        points; points present on one side only are reported too.
+        """
+        issues: List[str] = []
+        for name in set(self.names()) | set(other.names()):
+            if name not in self._sweeps or name not in other._sweeps:
+                issues.append(f"sweep {name!r} missing on one side")
+                continue
+            mine, theirs = self._sweeps[name], other._sweeps[name]
+            for system in set(mine) | set(theirs):
+                if system not in mine or system not in theirs:
+                    issues.append(f"{name}: system {system!r} missing on one side")
+                    continue
+                by_rate_a = {p.offered_rate: p for p in mine[system]}
+                by_rate_b = {p.offered_rate: p for p in theirs[system]}
+                for rate in set(by_rate_a) | set(by_rate_b):
+                    if rate not in by_rate_a or rate not in by_rate_b:
+                        issues.append(
+                            f"{name}/{system}: rate {rate} missing on one side"
+                        )
+                        continue
+                    a, b = by_rate_a[rate], by_rate_b[rate]
+                    for field in ("throughput", "p90_ms"):
+                        va, vb = getattr(a, field), getattr(b, field)
+                        denom = max(abs(va), abs(vb), 1e-12)
+                        if abs(va - vb) / denom > tolerance:
+                            issues.append(
+                                f"{name}/{system}@{rate:g}: {field} "
+                                f"{va:.2f} vs {vb:.2f}"
+                            )
+        return issues

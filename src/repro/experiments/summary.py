@@ -1,0 +1,150 @@
+"""Headline-claims summary (§1 / §7 highlights).
+
+Derives the paper's headline numbers from the per-figure runs:
+
+* LSTM:   latency -37.5..-90.5% at moderate load, throughput +25%
+* Seq2Seq: latency -17.5..-82.6% at moderate load, throughput +60%
+* TreeLSTM: throughput 4x TF Fold / 1.8x DyNet; latency -87% / -28%
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments import common, fig7_lstm, fig13_seq2seq, fig14_treelstm
+from repro.metrics.summary import format_table
+
+
+def _moderate_latency_reduction(bm_summaries, base_summaries, base_peak) -> List[float]:
+    """Latency reductions at load points under half the baseline's peak
+    (the paper's definition of "moderate load").  Falls back to the
+    lowest-load point when the sweep has no point under that threshold."""
+    reductions = []
+    for bm, base in zip(bm_summaries, base_summaries):
+        if base.offered_rate <= base_peak / 2:
+            reductions.append(1.0 - bm.p90_ms / base.p90_ms)
+    if not reductions:
+        bm, base = bm_summaries[0], base_summaries[0]
+        reductions.append(1.0 - bm.p90_ms / base.p90_ms)
+    return reductions
+
+
+def run(quick: bool = False) -> Dict:
+    out: Dict[str, Dict] = {}
+
+    lstm = fig7_lstm.run(quick=quick, max_batch=512)
+    lstm_bm_peak = common.peak_throughput(lstm["BatchMaker"])
+    lstm_base_peak = max(
+        common.peak_throughput(lstm["MXNet"]),
+        common.peak_throughput(lstm["TensorFlow"]),
+    )
+    reductions = _moderate_latency_reduction(
+        lstm["BatchMaker"], lstm["MXNet"], lstm_base_peak
+    ) + _moderate_latency_reduction(
+        lstm["BatchMaker"], lstm["TensorFlow"], lstm_base_peak
+    )
+    out["lstm"] = {
+        "latency_reduction_range": (min(reductions), max(reductions)),
+        "throughput_improvement": lstm_bm_peak / lstm_base_peak - 1,
+        "paper": {"latency": (0.375, 0.905), "throughput": 0.25},
+    }
+
+    s2s = fig13_seq2seq.run(quick=quick, num_gpus=2)
+    s2s_bm_peak = common.peak_throughput(s2s["BatchMaker-512,256"])
+    s2s_base_peak = max(
+        common.peak_throughput(s2s["MXNet"]),
+        common.peak_throughput(s2s["TensorFlow"]),
+    )
+    reductions = _moderate_latency_reduction(
+        s2s["BatchMaker-512,256"], s2s["MXNet"], s2s_base_peak
+    ) + _moderate_latency_reduction(
+        s2s["BatchMaker-512,256"], s2s["TensorFlow"], s2s_base_peak
+    )
+    out["seq2seq"] = {
+        "latency_reduction_range": (min(reductions), max(reductions)),
+        "throughput_improvement": s2s_bm_peak / s2s_base_peak - 1,
+        "paper": {"latency": (0.175, 0.826), "throughput": 0.60},
+    }
+
+    tree = fig14_treelstm.run(quick=quick)
+    bm_peak = common.peak_throughput(tree["BatchMaker"])
+    dynet_peak = common.peak_throughput(tree["DyNet"])
+    fold_peak = common.peak_throughput(tree["TF Fold"], latency_cap_ms=3000)
+    # Latency comparison at the moderate-load point (~1K req/s in the paper).
+    idx = min(range(len(tree["BatchMaker"])), key=lambda i: abs(
+        tree["BatchMaker"][i].offered_rate - 1000
+    ))
+    out["treelstm"] = {
+        "throughput_vs_dynet": bm_peak / dynet_peak,
+        "throughput_vs_fold": bm_peak / fold_peak,
+        "latency_reduction_vs_dynet": 1
+        - tree["BatchMaker"][idx].p90_ms / tree["DyNet"][idx].p90_ms,
+        "latency_reduction_vs_fold": 1
+        - tree["BatchMaker"][idx].p90_ms / tree["TF Fold"][idx].p90_ms,
+        "paper": {
+            "throughput_vs_dynet": 1.8,
+            "throughput_vs_fold": 4.0,
+            "latency_vs_dynet": 0.28,
+            "latency_vs_fold": 0.87,
+        },
+    }
+    return out
+
+
+def main(quick: bool = False) -> Dict:
+    results = run(quick=quick)
+    rows = []
+    lstm = results["lstm"]
+    rows.append(
+        [
+            "LSTM p90 latency reduction",
+            f"{lstm['latency_reduction_range'][0]:.0%}..{lstm['latency_reduction_range'][1]:.0%}",
+            "37.5%..90.5%",
+        ]
+    )
+    rows.append(
+        ["LSTM throughput improvement", f"{lstm['throughput_improvement']:+.0%}", "+25%"]
+    )
+    s2s = results["seq2seq"]
+    rows.append(
+        [
+            "Seq2Seq p90 latency reduction",
+            f"{s2s['latency_reduction_range'][0]:.0%}..{s2s['latency_reduction_range'][1]:.0%}",
+            "17.5%..82.6%",
+        ]
+    )
+    rows.append(
+        [
+            "Seq2Seq throughput improvement",
+            f"{s2s['throughput_improvement']:+.0%}",
+            "+60%",
+        ]
+    )
+    tree = results["treelstm"]
+    rows.append(
+        ["TreeLSTM throughput vs DyNet", f"{tree['throughput_vs_dynet']:.1f}x", "1.8x"]
+    )
+    rows.append(
+        ["TreeLSTM throughput vs TF Fold", f"{tree['throughput_vs_fold']:.1f}x", "4x"]
+    )
+    rows.append(
+        [
+            "TreeLSTM latency reduction vs DyNet",
+            f"{tree['latency_reduction_vs_dynet']:.0%}",
+            "28%",
+        ]
+    )
+    rows.append(
+        [
+            "TreeLSTM latency reduction vs TF Fold",
+            f"{tree['latency_reduction_vs_fold']:.0%}",
+            "87%",
+        ]
+    )
+    print("\n== Headline claims: measured vs paper ==")
+    print(format_table(["claim", "measured", "paper"], rows))
+    return results
+
+
+if __name__ == "__main__":
+    main()

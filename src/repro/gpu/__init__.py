@@ -1,0 +1,41 @@
+"""Simulated GPU substrate.
+
+The paper's testbed is 4 NVIDIA V100 GPUs; this package substitutes a
+discrete-event model of those devices:
+
+* :mod:`repro.gpu.costmodel` — batch-size -> kernel-time tables calibrated
+  against the measurements the paper publishes in Figure 3 and §7.3 (LSTM
+  step at h=1024: ~185 us at batch 64, ~784 us at batch 512, linear beyond).
+* :mod:`repro.gpu.device` — a FIFO-stream device: kernels submitted to one
+  stream run in order; completion is signalled via callbacks (the analogue
+  of the paper's signal-variable polling); cross-device copies cost
+  latency + size/bandwidth.
+* :mod:`repro.gpu.kernel` — kernel descriptors, including the signalling
+  kernel BatchMaker appends to every task.
+"""
+
+from repro.gpu.costmodel import (
+    CostModel,
+    LatencyTable,
+    cpu_lstm_step_table,
+    seq2seq_decoder_step_table,
+    tree_internal_step_table,
+    tree_leaf_step_table,
+    v100_lstm_step_table,
+)
+from repro.gpu.device import DeviceTimeline, GPUDevice
+from repro.gpu.kernel import Kernel, SignalKernel
+
+__all__ = [
+    "CostModel",
+    "LatencyTable",
+    "GPUDevice",
+    "DeviceTimeline",
+    "Kernel",
+    "SignalKernel",
+    "v100_lstm_step_table",
+    "cpu_lstm_step_table",
+    "seq2seq_decoder_step_table",
+    "tree_internal_step_table",
+    "tree_leaf_step_table",
+]

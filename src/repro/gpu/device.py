@@ -1,0 +1,128 @@
+"""Discrete-event model of a GPU device.
+
+The device owns one FIFO stream (matching the paper's use of a single
+stream per worker with kernels issued in topological order).  Submitting a
+kernel sequence reserves device time starting at ``max(now, free_at)``;
+:class:`~repro.gpu.kernel.SignalKernel` callbacks fire at their retire time
+through the event loop.  Cross-device copies are modelled as
+latency + size/bandwidth, which the scheduler's pinning exists to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.gpu.kernel import Kernel, SignalKernel
+from repro.sim.events import EventLoop
+
+
+class DeviceTimeline:
+    """Record of (start, end, tag) intervals for utilization accounting."""
+
+    def __init__(self):
+        self.intervals: List[Tuple[float, float, Any]] = []
+
+    def record(self, start: float, end: float, tag: Any) -> None:
+        self.intervals.append((start, end, tag))
+
+    def busy_time(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Total busy seconds within the window [since, until]."""
+        total = 0.0
+        for start, end, _ in self.intervals:
+            lo = max(start, since)
+            hi = end if until is None else min(end, until)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def utilization(self, since: float, until: float) -> float:
+        """Fraction of [since, until] the device was busy."""
+        if until <= since:
+            raise ValueError("empty utilization window")
+        return self.busy_time(since, until) / (until - since)
+
+
+class GPUDevice:
+    """A simulated GPU with a single FIFO execution stream.
+
+    NVLink-class interconnect defaults: 10 us copy latency, 20 GB/s
+    effective per-direction bandwidth.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        device_id: int,
+        name: Optional[str] = None,
+        copy_latency: float = 10e-6,
+        copy_bandwidth: float = 20e9,
+    ):
+        self.loop = loop
+        self.device_id = device_id
+        self.name = name if name is not None else f"gpu{device_id}"
+        self.copy_latency = copy_latency
+        self.copy_bandwidth = copy_bandwidth
+        self.timeline = DeviceTimeline()
+        self._free_at = 0.0
+        self._kernels_launched = 0
+
+    # -- execution ---------------------------------------------------------
+
+    def submit(self, kernels: Sequence[Kernel], tag: Any = None) -> float:
+        """Enqueue ``kernels`` on the stream; returns the retire time.
+
+        Kernels run back-to-back in FIFO order after everything already in
+        the stream.  SignalKernel callbacks are delivered at their retire
+        time via the event loop (never earlier than ``now``).
+        """
+        if not kernels:
+            raise ValueError("cannot submit an empty kernel sequence")
+        start = max(self.loop.now(), self._free_at)
+        t = start
+        for kernel in kernels:
+            t += kernel.duration
+            self._kernels_launched += 1
+            if isinstance(kernel, SignalKernel):
+                self.loop.call_at(t, kernel.callback)
+        if t > start:
+            self.timeline.record(start, t, tag)
+        self._free_at = t
+        return t
+
+    def run_for(self, duration: float, on_complete=None, tag: Any = None) -> float:
+        """Convenience: one compute kernel plus a signal kernel."""
+        kernels: List[Kernel] = [Kernel(duration, tag)]
+        if on_complete is not None:
+            kernels.append(SignalKernel(on_complete, tag))
+        return self.submit(kernels, tag)
+
+    # -- transfers ---------------------------------------------------------
+
+    def copy_cost(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` to/from a peer device."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.copy_latency + nbytes / self.copy_bandwidth
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time newly submitted work could start."""
+        return max(self._free_at, self.loop.now())
+
+    def is_idle(self) -> bool:
+        return self._free_at <= self.loop.now()
+
+    def backlog(self) -> float:
+        """Seconds of queued work not yet retired."""
+        return max(0.0, self._free_at - self.loop.now())
+
+    @property
+    def kernels_launched(self) -> int:
+        return self._kernels_launched
+
+    def __repr__(self) -> str:
+        return f"<GPUDevice {self.name} free_at={self._free_at:.6f}>"

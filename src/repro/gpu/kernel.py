@@ -1,0 +1,40 @@
+"""Kernel descriptors for the simulated device.
+
+A worker turns each batched task into a sequence of kernels pushed to one
+stream; the final :class:`SignalKernel` increments a signal variable the
+worker polls, which is how BatchMaker learns of completion without blocking
+the stream (§5, "Asynchronous Completion Notification").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Kernel:
+    """One unit of device work: a duration plus an optional tag."""
+
+    __slots__ = ("duration", "tag")
+
+    def __init__(self, duration: float, tag: Any = None):
+        if duration < 0:
+            raise ValueError(f"kernel duration must be >= 0, got {duration}")
+        self.duration = float(duration)
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"Kernel({self.duration * 1e6:.1f}us, tag={self.tag!r})"
+
+
+class SignalKernel(Kernel):
+    """Zero-cost kernel that fires a completion callback when it retires.
+
+    The callback is the simulation analogue of "increment the pinned-host
+    signal variable"; the polling thread is folded into the event delivery.
+    """
+
+    __slots__ = ("callback",)
+
+    def __init__(self, callback: Callable[[], None], tag: Any = None):
+        super().__init__(0.0, tag)
+        self.callback = callback

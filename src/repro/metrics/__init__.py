@@ -1,0 +1,16 @@
+"""Measurement: latency percentiles, CDFs, throughput-latency sweeps."""
+
+from repro.metrics.latency import LatencyStats, cdf_points, percentile
+from repro.metrics.summary import RunSummary, SweepPoint, format_table
+from repro.metrics.timeline import TaskRecord, TaskTrace
+
+__all__ = [
+    "LatencyStats",
+    "percentile",
+    "cdf_points",
+    "RunSummary",
+    "SweepPoint",
+    "format_table",
+    "TaskRecord",
+    "TaskTrace",
+]

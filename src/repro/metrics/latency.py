@@ -1,0 +1,79 @@
+"""Latency statistics.
+
+The paper reports 50/90/99-percentile latency (Figure 7's error bars are
+the 50p and 99p around the 90p line) and full CDFs of queuing and
+computation time (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0-100), linear interpolation."""
+    if len(values) == 0:
+        raise ValueError("no values")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), p))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as [(value, cumulative fraction)] sorted by value."""
+    if len(values) == 0:
+        raise ValueError("no values")
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    fractions = np.arange(1, len(ordered) + 1) / len(ordered)
+    return list(zip(ordered.tolist(), fractions.tolist()))
+
+
+class LatencyStats:
+    """Accumulates per-request latency decompositions."""
+
+    def __init__(self):
+        self.latencies: List[float] = []
+        self.queuing: List[float] = []
+        self.computation: List[float] = []
+
+    def add_request(self, request) -> None:
+        """Record a finished :class:`~repro.core.request.InferenceRequest`."""
+        if request.latency is None:
+            raise ValueError(f"request {request.request_id} has not finished")
+        self.latencies.append(request.latency)
+        self.queuing.append(request.queuing_time)
+        self.computation.append(request.computation_time)
+
+    def extend(self, requests: Iterable) -> "LatencyStats":
+        for request in requests:
+            self.add_request(request)
+        return self
+
+    def count(self) -> int:
+        return len(self.latencies)
+
+    def p(self, p: float, series: str = "latency") -> float:
+        return percentile(self._series(series), p)
+
+    def mean(self, series: str = "latency") -> float:
+        values = self._series(series)
+        if not values:
+            raise ValueError("no values")
+        return float(np.mean(values))
+
+    def cdf(self, series: str = "latency") -> List[Tuple[float, float]]:
+        return cdf_points(self._series(series))
+
+    def _series(self, series: str) -> List[float]:
+        try:
+            return {
+                "latency": self.latencies,
+                "queuing": self.queuing,
+                "computation": self.computation,
+            }[series]
+        except KeyError:
+            raise ValueError(
+                f"unknown series {series!r}; expected latency/queuing/computation"
+            ) from None

@@ -1,0 +1,85 @@
+"""Run summaries and text tables for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.latency import LatencyStats
+
+
+class RunSummary:
+    """Summary of one load point: offered load, achieved throughput and the
+    latency percentiles the paper plots."""
+
+    def __init__(
+        self,
+        system: str,
+        offered_rate: float,
+        throughput: float,
+        stats: LatencyStats,
+        extras: Optional[Dict[str, float]] = None,
+    ):
+        self.system = system
+        self.offered_rate = offered_rate
+        self.throughput = throughput
+        self.stats = stats
+        self.extras = dict(extras or {})
+
+    @property
+    def p50_ms(self) -> float:
+        return 1e3 * self.stats.p(50)
+
+    @property
+    def p90_ms(self) -> float:
+        return 1e3 * self.stats.p(90)
+
+    @property
+    def p99_ms(self) -> float:
+        return 1e3 * self.stats.p(99)
+
+    def row(self) -> List[str]:
+        return [
+            self.system,
+            f"{self.offered_rate:.0f}",
+            f"{self.throughput:.0f}",
+            f"{self.p50_ms:.2f}",
+            f"{self.p90_ms:.2f}",
+            f"{self.p99_ms:.2f}",
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<RunSummary {self.system} rate={self.offered_rate:.0f} "
+            f"thr={self.throughput:.0f} p90={self.p90_ms:.2f}ms>"
+        )
+
+
+class SweepPoint:
+    """One (throughput, latency) point in a Figure-7-style curve."""
+
+    def __init__(self, throughput: float, p50_ms: float, p90_ms: float, p99_ms: float):
+        self.throughput = throughput
+        self.p50_ms = p50_ms
+        self.p90_ms = p90_ms
+        self.p99_ms = p99_ms
+
+    @classmethod
+    def from_summary(cls, summary: RunSummary) -> "SweepPoint":
+        return cls(summary.throughput, summary.p50_ms, summary.p90_ms, summary.p99_ms)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Simple aligned text table (the harness prints these to stdout)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)

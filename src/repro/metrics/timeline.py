@@ -1,0 +1,127 @@
+"""Task-level execution traces and an ASCII Gantt renderer.
+
+Attach a :class:`TaskTrace` to a BatchMaker server to record every batched
+task (cell type, batch size, worker, submit/finish times), then render the
+per-worker timeline — the tooling behind Figure-5-style visualisations and
+general scheduling debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class TaskRecord:
+    """One executed batched task."""
+
+    __slots__ = ("task_id", "cell_type", "batch_size", "worker_id", "start", "end")
+
+    def __init__(self, task_id, cell_type, batch_size, worker_id, start, end):
+        self.task_id = task_id
+        self.cell_type = cell_type
+        self.batch_size = batch_size
+        self.worker_id = worker_id
+        self.start = start
+        self.end = end
+
+    def __repr__(self) -> str:
+        return (
+            f"<TaskRecord {self.task_id} {self.cell_type}x{self.batch_size} "
+            f"w{self.worker_id} [{self.start:.6f},{self.end:.6f}]>"
+        )
+
+
+class TaskTrace:
+    """Records every task a BatchMaker server executes.
+
+    Usage::
+
+        server = BatchMakerServer(model)
+        trace = TaskTrace.attach(server)
+        ... submit and drain ...
+        print(trace.render_gantt())
+    """
+
+    def __init__(self):
+        self.records: List[TaskRecord] = []
+
+    @classmethod
+    def attach(cls, server) -> "TaskTrace":
+        """Wrap the manager's completion hook to capture retired tasks."""
+        trace = cls()
+        manager = server.manager
+        original = manager._task_complete
+
+        def recording(worker, task):
+            trace.records.append(
+                TaskRecord(
+                    task.task_id,
+                    task.cell_type.name,
+                    task.batch_size,
+                    worker.worker_id,
+                    task.finish_time - (task.duration or 0.0),
+                    task.finish_time,
+                )
+            )
+            original(worker, task)
+
+        manager._task_complete = recording
+        for worker in manager.workers:
+            worker._on_task_complete = recording
+        return trace
+
+    # -- analysis -----------------------------------------------------------
+
+    def by_worker(self) -> Dict[int, List[TaskRecord]]:
+        grouped: Dict[int, List[TaskRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.worker_id, []).append(record)
+        for records in grouped.values():
+            records.sort(key=lambda r: r.start)
+        return grouped
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for record in self.records:
+            histogram[record.batch_size] = histogram.get(record.batch_size, 0) + 1
+        return histogram
+
+    def span(self) -> Tuple[float, float]:
+        if not self.records:
+            raise ValueError("empty trace")
+        return (
+            min(r.start for r in self.records),
+            max(r.end for r in self.records),
+        )
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_gantt(self, width: int = 80, legend: bool = True) -> str:
+        """ASCII Gantt chart: one row per worker, one letter per cell type,
+        batch size shown where it fits."""
+        if not self.records:
+            return "(empty trace)"
+        start, end = self.span()
+        scale = width / max(end - start, 1e-12)
+        letters: Dict[str, str] = {}
+        for record in self.records:
+            if record.cell_type not in letters:
+                letters[record.cell_type] = chr(ord("A") + len(letters) % 26)
+        lines = []
+        for worker_id, records in sorted(self.by_worker().items()):
+            row = [" "] * width
+            for record in records:
+                lo = int((record.start - start) * scale)
+                hi = max(lo + 1, int((record.end - start) * scale))
+                label = letters[record.cell_type]
+                for i in range(lo, min(hi, width)):
+                    row[i] = label
+                size_text = str(record.batch_size)
+                if hi - lo >= len(size_text) + 2 and lo + 1 + len(size_text) < width:
+                    for j, ch in enumerate(size_text):
+                        row[lo + 1 + j] = ch
+            lines.append(f"gpu{worker_id} |{''.join(row)}|")
+        if legend:
+            pairs = ", ".join(f"{v}={k}" for k, v in letters.items())
+            lines.append(f"      {pairs}; span [{start:.4f}s, {end:.4f}s]")
+        return "\n".join(lines)

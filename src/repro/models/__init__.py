@@ -1,0 +1,27 @@
+"""Model zoo: the paper's three applications plus extensions.
+
+Each model bundles its cell types, the per-request unfolding function (the
+user-provided code in BatchMaker's interface), the phase description the
+padding baseline needs, and a reference forward pass used to verify that
+batched serving produces bit-identical results.
+"""
+
+from repro.models.attention_seq2seq import AttentionSeq2SeqModel
+from repro.models.base import Model
+from repro.models.beam_seq2seq import BeamSeq2SeqModel
+from repro.models.gru_chain import GRUChainModel
+from repro.models.lstm_chain import LSTMChainModel
+from repro.models.seq2seq import Seq2SeqModel
+from repro.models.tree_lstm import TreeLSTMModel, TreePayload, TreeNodeSpec
+
+__all__ = [
+    "Model",
+    "AttentionSeq2SeqModel",
+    "BeamSeq2SeqModel",
+    "GRUChainModel",
+    "LSTMChainModel",
+    "Seq2SeqModel",
+    "TreeLSTMModel",
+    "TreePayload",
+    "TreeNodeSpec",
+]

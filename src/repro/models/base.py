@@ -1,0 +1,82 @@
+"""Model interface consumed by the serving engines.
+
+This corresponds to the two things a BatchMaker user provides (§4.1): the
+definition of each cell, and a function that unfolds each request into its
+cell graph.  The extra hooks (``phases``, ``extend``, ``reference_forward``)
+exist for the baselines, the dynamic-decoding extension, and correctness
+testing respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cell import CellType
+from repro.core.cell_graph import CellGraph, CellNode
+
+
+class Model:
+    """A servable RNN model."""
+
+    name: str = "model"
+
+    # -- required --------------------------------------------------------------
+
+    def cell_types(self) -> Sequence[CellType]:
+        """All cell types this model unfolds into."""
+        raise NotImplementedError
+
+    def unfold(self, graph: CellGraph, payload: Any) -> None:
+        """Build the request's cell graph (the paper's user-defined unfold
+        function).  Must call ``graph.mark_result`` for the outputs that
+        constitute the request's answer."""
+        raise NotImplementedError
+
+    # -- optional ----------------------------------------------------------------
+
+    def extend(
+        self, graph: CellGraph, completed: CellNode, payload: Any
+    ) -> List[CellNode]:
+        """Dynamic unfolding hook: called when ``completed`` finishes; may
+        append new nodes (e.g. feed-previous decoding until <eos>).  The
+        default is static unfolding: no growth."""
+        return []
+
+    def phases(self, payload: Any) -> List[Tuple[str, int]]:
+        """``[(cell_type_name, steps), ...]`` description used by the padded
+        (graph-batching) baseline.  Chain models return one phase; Seq2Seq
+        returns encoder and decoder phases.  Models that padding cannot
+        express (trees) raise ``NotImplementedError``, matching the paper's
+        observation that padding does not support TreeLSTM."""
+        raise NotImplementedError(
+            f"model {self.name!r} does not support padding-based batching"
+        )
+
+    def reference_forward(self, payload: Any) -> Optional[List[Any]]:
+        """Direct, unbatched forward pass for correctness checks (returns the
+        same values ``CellGraph.collect_results`` would).  None when the
+        model is simulation-only."""
+        return None
+
+    def default_cost_model(self):
+        """Calibrated :class:`~repro.gpu.costmodel.CostModel` with a latency
+        table registered for each of this model's cell types."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------------
+
+    def cell_type_by_name(self, name: str) -> CellType:
+        for ct in self.cell_types():
+            if ct.name == name:
+                return ct
+        raise KeyError(f"model {self.name!r} has no cell type {name!r}")
+
+    def total_cells(self, payload: Any) -> int:
+        """Number of cell invocations one request unfolds to (via phases if
+        available, else by unfolding a throwaway graph)."""
+        try:
+            return sum(steps for _, steps in self.phases(payload))
+        except NotImplementedError:
+            graph = CellGraph()
+            self.unfold(graph, payload)
+            return len(graph)

@@ -1,0 +1,275 @@
+"""Sequence-to-sequence model with feed-previous decoding (§7.4, Fig 12).
+
+Two cell types — encoder (embedding + LSTM) and decoder (embedding + LSTM +
+vocabulary projection + argmax) — that do not share weights.  The first
+decoder cell consumes the encoder's final state and the <go> symbol; each
+subsequent decoder cell feeds on the previous decoder's emitted token.
+
+Two unfolding modes:
+
+* **static** (paper's evaluation setting): the payload fixes the decode
+  length ("we decode for a number of steps equal to the corresponding
+  English sequence length"), so the whole graph is known at arrival and
+  partitions into one encoder and one decoder subgraph.
+* **dynamic** (our extension; the precursor of continuous batching): the
+  graph grows one decoder cell at a time until <eos> is emitted or
+  ``max_decode`` is reached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.composite import CompositeCell
+from repro.cells.embedding import EmbeddingCell
+from repro.cells.lstm import LSTMCell
+from repro.cells.projection import ProjectionCell
+from repro.core.cell import CellType
+from repro.core.cell_graph import CellGraph, CellNode, NodeOutput, ValueInput
+from repro.gpu.costmodel import (
+    CostModel,
+    seq2seq_decoder_step_table,
+    v100_lstm_step_table,
+)
+from repro.models.base import Model
+from repro.tensor.parameters import ParameterStore
+
+ENCODER_CELL = "encoder"
+DECODER_CELL = "decoder"
+
+GO_TOKEN = 1
+EOS_TOKEN = 2
+
+
+def _normalize_payload(payload: Any) -> Dict[str, Any]:
+    """Canonicalise a Seq2Seq payload.
+
+    Accepted forms: ``{"src": [...], "tgt_len": n}`` (static),
+    ``{"src": [...], "dynamic": True, "max_decode": n}`` (dynamic), or the
+    shorthand ``(src_len, tgt_len)`` tuple for simulation-only workloads.
+    """
+    if isinstance(payload, tuple) and len(payload) == 2:
+        src_len, tgt_len = payload
+        payload = {"src": int(src_len), "tgt_len": int(tgt_len)}
+    if "src" not in payload:
+        raise ValueError("Seq2Seq payload needs a 'src' field")
+    src = payload["src"]
+    src_tokens = [0] * int(src) if isinstance(src, (int, np.integer)) else [int(t) for t in src]
+    if not src_tokens:
+        raise ValueError("empty source sequence")
+    norm = {"src": src_tokens, "dynamic": bool(payload.get("dynamic", False))}
+    if norm["dynamic"]:
+        norm["max_decode"] = int(payload.get("max_decode", len(src_tokens) + 10))
+    else:
+        if "tgt_len" not in payload:
+            raise ValueError("static Seq2Seq payload needs 'tgt_len'")
+        norm["tgt_len"] = int(payload["tgt_len"])
+        if norm["tgt_len"] < 1:
+            raise ValueError("tgt_len must be >= 1")
+    return norm
+
+
+class Seq2SeqModel(Model):
+    """Encoder/decoder translation model."""
+
+    def __init__(
+        self,
+        hidden_dim: int = 1024,
+        src_vocab_size: int = 30000,
+        tgt_vocab_size: int = 30000,
+        embed_dim: Optional[int] = None,
+        real: bool = False,
+        seed: int = 0,
+    ):
+        self.name = "seq2seq"
+        self.hidden_dim = hidden_dim
+        self.src_vocab_size = src_vocab_size
+        self.tgt_vocab_size = tgt_vocab_size
+        self.embed_dim = embed_dim if embed_dim is not None else hidden_dim
+        self.real = real
+        self.params = ParameterStore(seed=seed)
+
+        if real:
+            self._build_real_cells()
+        else:
+            self._encoder_type = CellType(
+                ENCODER_CELL, ("ids", "h", "c"), ("h", "c"), num_operators=12
+            )
+            self._decoder_type = CellType(
+                DECODER_CELL,
+                ("ids", "h", "c"),
+                ("h", "c", "token"),
+                num_operators=15,
+            )
+
+    def _build_real_cells(self) -> None:
+        enc_embed = EmbeddingCell(
+            "enc/embed", self.src_vocab_size, self.embed_dim, self.params
+        )
+        enc_lstm = LSTMCell("enc/step", self.embed_dim, self.hidden_dim, self.params)
+        self._enc_cells = (enc_embed, enc_lstm)
+        encoder = CompositeCell(
+            ENCODER_CELL,
+            input_names=("ids", "h", "c"),
+            output_names=("h", "c"),
+            stages=[
+                (enc_embed, {"ids": ("external", "ids")}),
+                (
+                    enc_lstm,
+                    {
+                        "x": ("stage", 0, "emb"),
+                        "h": ("external", "h"),
+                        "c": ("external", "c"),
+                    },
+                ),
+            ],
+            exports={"h": ("stage", 1, "h"), "c": ("stage", 1, "c")},
+        )
+        dec_embed = EmbeddingCell(
+            "dec/embed", self.tgt_vocab_size, self.embed_dim, self.params
+        )
+        dec_lstm = LSTMCell("dec/step", self.embed_dim, self.hidden_dim, self.params)
+        dec_proj = ProjectionCell(
+            "dec/proj", self.hidden_dim, self.tgt_vocab_size, self.params
+        )
+        self._dec_cells = (dec_embed, dec_lstm, dec_proj)
+        decoder = CompositeCell(
+            DECODER_CELL,
+            input_names=("ids", "h", "c"),
+            output_names=("h", "c", "token"),
+            stages=[
+                (dec_embed, {"ids": ("external", "ids")}),
+                (
+                    dec_lstm,
+                    {
+                        "x": ("stage", 0, "emb"),
+                        "h": ("external", "h"),
+                        "c": ("external", "c"),
+                    },
+                ),
+                (dec_proj, {"h": ("stage", 1, "h")}),
+            ],
+            exports={
+                "h": ("stage", 1, "h"),
+                "c": ("stage", 1, "c"),
+                "token": ("stage", 2, "token"),
+            },
+        )
+        self._encoder_type = CellType.from_cell(encoder)
+        self._decoder_type = CellType.from_cell(decoder)
+
+    # -- Model interface -----------------------------------------------------
+
+    def cell_types(self) -> Sequence[CellType]:
+        return [self._encoder_type, self._decoder_type]
+
+    def unfold(self, graph: CellGraph, payload: Any) -> None:
+        spec = _normalize_payload(payload)
+        zeros = self._zero_state_row()
+        prev = None
+        for token in spec["src"]:
+            inputs = {"ids": ValueInput(token)}
+            if prev is None:
+                inputs["h"] = ValueInput(zeros)
+                inputs["c"] = ValueInput(zeros)
+            else:
+                inputs["h"] = NodeOutput(prev.node_id, "h")
+                inputs["c"] = NodeOutput(prev.node_id, "c")
+            prev = graph.add_node(self._encoder_type, inputs)
+
+        first_decoder = graph.add_node(
+            self._decoder_type,
+            {
+                "ids": ValueInput(GO_TOKEN),
+                "h": NodeOutput(prev.node_id, "h"),
+                "c": NodeOutput(prev.node_id, "c"),
+            },
+        )
+        graph.mark_result(first_decoder, "token")
+        if spec["dynamic"]:
+            return  # grows via extend()
+        node = first_decoder
+        for _ in range(spec["tgt_len"] - 1):
+            node = graph.add_node(
+                self._decoder_type,
+                {
+                    "ids": NodeOutput(node.node_id, "token"),
+                    "h": NodeOutput(node.node_id, "h"),
+                    "c": NodeOutput(node.node_id, "c"),
+                },
+            )
+            graph.mark_result(node, "token")
+
+    def extend(
+        self, graph: CellGraph, completed: CellNode, payload: Any
+    ) -> List[CellNode]:
+        spec = _normalize_payload(payload)
+        if not spec["dynamic"] or completed.cell_type.name != DECODER_CELL:
+            return []
+        # Stop once <eos> was emitted or the decode budget is exhausted.
+        decoded = graph.cell_type_census().get(DECODER_CELL, 0)
+        if decoded >= spec["max_decode"]:
+            return []
+        if completed.outputs is not None:
+            token = int(np.asarray(completed.outputs["token"]).reshape(()))
+            if token == EOS_TOKEN:
+                return []
+        node = graph.add_node(
+            self._decoder_type,
+            {
+                "ids": NodeOutput(completed.node_id, "token"),
+                "h": NodeOutput(completed.node_id, "h"),
+                "c": NodeOutput(completed.node_id, "c"),
+            },
+        )
+        graph.mark_result(node, "token")
+        return [node]
+
+    def phases(self, payload: Any) -> List[Tuple[str, int]]:
+        spec = _normalize_payload(payload)
+        if spec["dynamic"]:
+            raise NotImplementedError(
+                "padding baselines cannot serve dynamic-length decoding"
+            )
+        return [(ENCODER_CELL, len(spec["src"])), (DECODER_CELL, spec["tgt_len"])]
+
+    def default_cost_model(self) -> CostModel:
+        model = CostModel()
+        model.register(ENCODER_CELL, v100_lstm_step_table())
+        model.register(DECODER_CELL, seq2seq_decoder_step_table())
+        return model
+
+    def reference_forward(self, payload: Any) -> Optional[List[Any]]:
+        if not self.real:
+            return None
+        spec = _normalize_payload(payload)
+        enc_embed, enc_lstm = self._enc_cells
+        dec_embed, dec_lstm, dec_proj = self._dec_cells
+        h = np.zeros((1, self.hidden_dim), dtype=np.float32)
+        c = np.zeros((1, self.hidden_dim), dtype=np.float32)
+        for token in spec["src"]:
+            emb = enc_embed({"ids": np.asarray([token])})["emb"]
+            out = enc_lstm({"x": emb, "h": h, "c": c})
+            h, c = out["h"], out["c"]
+        tokens: List[int] = []
+        current = GO_TOKEN
+        steps = spec["max_decode"] if spec["dynamic"] else spec["tgt_len"]
+        for _ in range(steps):
+            emb = dec_embed({"ids": np.asarray([current])})["emb"]
+            out = dec_lstm({"x": emb, "h": h, "c": c})
+            h, c = out["h"], out["c"]
+            token = int(dec_proj({"h": h})["token"][0])
+            tokens.append(token)
+            current = token
+            if spec["dynamic"] and token == EOS_TOKEN:
+                break
+        return tokens
+
+    # -- internals --------------------------------------------------------------
+
+    def _zero_state_row(self):
+        if self.real:
+            return np.zeros(self.hidden_dim, dtype=np.float32)
+        return None

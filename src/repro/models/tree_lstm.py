@@ -1,0 +1,178 @@
+"""TreeLSTM model over binary parse trees (§7.5).
+
+Two cell types: leaf (grey in the paper's Figure 2) and internal (white).
+Unfolding a tree yields one single-node subgraph per leaf plus one subgraph
+containing all internal nodes — the worked example of §4.4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.tree_lstm import TreeInternalCell, TreeLeafCell
+from repro.core.cell import CellType
+from repro.core.cell_graph import CellGraph, NodeOutput, ValueInput
+from repro.gpu.costmodel import (
+    CostModel,
+    tree_internal_step_table,
+    tree_leaf_step_table,
+)
+from repro.models.base import Model
+from repro.tensor.parameters import ParameterStore
+
+LEAF_CELL = "tree_leaf"
+INTERNAL_CELL = "tree_internal"
+
+
+class TreeNodeSpec:
+    """A node of a binary parse tree: either a leaf with a token, or an
+    internal node with exactly two children."""
+
+    __slots__ = ("token", "left", "right")
+
+    def __init__(
+        self,
+        token: Optional[int] = None,
+        left: Optional["TreeNodeSpec"] = None,
+        right: Optional["TreeNodeSpec"] = None,
+    ):
+        is_leaf = token is not None
+        has_children = left is not None or right is not None
+        if is_leaf and has_children:
+            raise ValueError("a tree node is either a leaf or internal, not both")
+        if not is_leaf and (left is None or right is None):
+            raise ValueError("internal nodes need exactly two children")
+        self.token = token
+        self.left = left
+        self.right = right
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.token is not None
+
+    def num_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return self.left.num_leaves() + self.right.num_leaves()
+
+    def num_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.num_nodes() + self.right.num_nodes()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    @classmethod
+    def complete(cls, num_leaves: int, token: int = 0) -> "TreeNodeSpec":
+        """A complete binary tree with ``num_leaves`` leaves (power of two),
+        e.g. the 16-leaf tree of the paper's §4.4 and Figure 15."""
+        if num_leaves < 1 or num_leaves & (num_leaves - 1):
+            raise ValueError("num_leaves must be a positive power of two")
+        if num_leaves == 1:
+            return cls(token=token)
+        half = num_leaves // 2
+        return cls(left=cls.complete(half, token), right=cls.complete(half, token))
+
+
+class TreePayload:
+    """Request payload: the parse tree of one sentence."""
+
+    def __init__(self, root: TreeNodeSpec):
+        self.root = root
+
+    def num_leaves(self) -> int:
+        return self.root.num_leaves()
+
+    def num_nodes(self) -> int:
+        return self.root.num_nodes()
+
+    def depth(self) -> int:
+        return self.root.depth()
+
+
+class TreeLSTMModel(Model):
+    """Binary TreeLSTM (Tai et al.) for sentence classification."""
+
+    def __init__(
+        self,
+        hidden_dim: int = 1024,
+        vocab_size: int = 30000,
+        embed_dim: Optional[int] = None,
+        real: bool = False,
+        seed: int = 0,
+    ):
+        self.name = "tree-lstm"
+        self.hidden_dim = hidden_dim
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim if embed_dim is not None else hidden_dim
+        self.real = real
+        self.params = ParameterStore(seed=seed)
+
+        if real:
+            leaf = TreeLeafCell(
+                "tree/leaf", vocab_size, self.embed_dim, hidden_dim, self.params
+            )
+            internal = TreeInternalCell("tree/internal", hidden_dim, self.params)
+            self._leaf_cell, self._internal_cell = leaf, internal
+            self._leaf_type = CellType.from_cell(leaf, name=LEAF_CELL)
+            self._internal_type = CellType.from_cell(internal, name=INTERNAL_CELL)
+        else:
+            self._leaf_cell = self._internal_cell = None
+            self._leaf_type = CellType(LEAF_CELL, ("ids",), ("h", "c"), num_operators=8)
+            self._internal_type = CellType(
+                INTERNAL_CELL, ("h_l", "c_l", "h_r", "c_r"), ("h", "c"), num_operators=13
+            )
+
+    # -- Model interface -----------------------------------------------------
+
+    def cell_types(self) -> Sequence[CellType]:
+        return [self._leaf_type, self._internal_type]
+
+    def unfold(self, graph: CellGraph, payload: Any) -> None:
+        if not isinstance(payload, TreePayload):
+            raise TypeError(f"TreeLSTM payload must be TreePayload, got {type(payload)}")
+        root = self._unfold_node(graph, payload.root)
+        graph.mark_result(root, "h")
+
+    def _unfold_node(self, graph: CellGraph, spec: TreeNodeSpec):
+        if spec.is_leaf:
+            return graph.add_node(self._leaf_type, {"ids": ValueInput(spec.token)})
+        left = self._unfold_node(graph, spec.left)
+        right = self._unfold_node(graph, spec.right)
+        return graph.add_node(
+            self._internal_type,
+            {
+                "h_l": NodeOutput(left.node_id, "h"),
+                "c_l": NodeOutput(left.node_id, "c"),
+                "h_r": NodeOutput(right.node_id, "h"),
+                "c_r": NodeOutput(right.node_id, "c"),
+            },
+        )
+
+    def default_cost_model(self) -> CostModel:
+        model = CostModel()
+        model.register(LEAF_CELL, tree_leaf_step_table())
+        model.register(INTERNAL_CELL, tree_internal_step_table())
+        return model
+
+    def reference_forward(self, payload: Any) -> Optional[List[Any]]:
+        if not self.real:
+            return None
+        h, _ = self._forward_node(payload.root)
+        return [h[0]]
+
+    def _forward_node(self, spec: TreeNodeSpec) -> Tuple[np.ndarray, np.ndarray]:
+        if spec.is_leaf:
+            out = self._leaf_cell({"ids": np.asarray([spec.token])})
+            return out["h"], out["c"]
+        h_l, c_l = self._forward_node(spec.left)
+        h_r, c_r = self._forward_node(spec.right)
+        out = self._internal_cell(
+            {"h_l": h_l, "c_l": c_l, "h_r": h_r, "c_r": c_r}
+        )
+        return out["h"], out["c"]

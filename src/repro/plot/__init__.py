@@ -1,0 +1,26 @@
+"""Dependency-free SVG charting.
+
+The experiment harness prints text tables; this package additionally
+renders the paper's figures as standalone SVG files (no matplotlib in the
+offline environment).  It provides a small but complete charting core —
+linear/log axes with tick generation, line/scatter/step series, legends —
+and figure-specific helpers used by ``repro.experiments.runner --plot-dir``.
+"""
+
+from repro.plot.axes import Axis, LinearScale, LogScale, nice_ticks
+from repro.plot.chart import Chart, Series
+from repro.plot.charts import cdf_chart, sweep_chart, timeline_chart
+from repro.plot.svg import SvgCanvas
+
+__all__ = [
+    "Axis",
+    "LinearScale",
+    "LogScale",
+    "nice_ticks",
+    "Chart",
+    "Series",
+    "SvgCanvas",
+    "sweep_chart",
+    "cdf_chart",
+    "timeline_chart",
+]

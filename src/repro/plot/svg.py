@@ -1,0 +1,105 @@
+"""Minimal SVG document builder."""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional, Sequence, Tuple
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serialises a standalone document."""
+
+    def __init__(self, width: int, height: int, background: str = "white"):
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # -- primitives -------------------------------------------------------------
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        width: float = 1.0,
+        dash: Optional[str] = None,
+    ) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        stroke: str = "black",
+        width: float = 1.5,
+    ) -> None:
+        if len(points) < 2:
+            raise ValueError("polyline needs at least two points")
+        text = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{text}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(
+        self, cx: float, cy: float, r: float, fill: str = "black"
+    ) -> None:
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" fill="{fill}"/>'
+        )
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        fill: str = "none",
+        stroke: str = "black",
+    ) -> None:
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{width:.2f}" '
+            f'height="{height:.2f}" fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 12,
+        anchor: str = "start",
+        rotate: Optional[float] = None,
+        fill: str = "black",
+    ) -> None:
+        transform = (
+            f' transform="rotate({rotate:.1f} {x:.2f} {y:.2f})"' if rotate else ""
+        )
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}"{transform}>{html.escape(content)}</text>'
+        )
+
+    # -- output ------------------------------------------------------------------
+
+    def render(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w") as f:
+            f.write(self.render())

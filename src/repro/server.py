@@ -1,0 +1,57 @@
+"""Common serving interface shared by BatchMaker and the baseline systems.
+
+Every server — BatchMaker (:mod:`repro.core`), the padding/bucketing server
+(:mod:`repro.baselines.padded`), the dynamic graph-merge server
+(:mod:`repro.baselines.fold`) and the fixed-structure ideal
+(:mod:`repro.baselines.ideal`) — accepts requests through the same
+``submit`` call against the same event loop, so the load generator and the
+experiment harness treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.request import InferenceRequest
+from repro.sim.events import EventLoop
+
+
+class InferenceServer:
+    """Abstract server: payloads in, finished :class:`InferenceRequest`\\ s out."""
+
+    def __init__(self, loop: EventLoop, name: str):
+        self.loop = loop
+        self.name = name
+        self.finished: List[InferenceRequest] = []
+        self._next_request_id = 0
+
+    # -- to implement --------------------------------------------------------
+
+    def _accept(self, request: InferenceRequest) -> None:
+        """Called at the request's arrival time; begin serving it."""
+        raise NotImplementedError
+
+    # -- shared machinery ------------------------------------------------------
+
+    def submit(self, payload: Any, arrival_time: Optional[float] = None) -> InferenceRequest:
+        """Register a request to arrive at ``arrival_time`` (default: now)."""
+        when = self.loop.now() if arrival_time is None else arrival_time
+        if when < self.loop.now():
+            raise ValueError(
+                f"arrival time {when} is in the past (now={self.loop.now()})"
+            )
+        request = InferenceRequest(self._next_request_id, payload, when)
+        self._next_request_id += 1
+        self.loop.call_at(when, lambda: self._accept(request))
+        return request
+
+    def _finish_request(self, request: InferenceRequest) -> None:
+        request.mark_finished(self.loop.now())
+        self.finished.append(request)
+
+    def drain(self, until: Optional[float] = None) -> None:
+        """Run the event loop until no work remains (or ``until``)."""
+        self.loop.run(until=until)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} finished={len(self.finished)}>"

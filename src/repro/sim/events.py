@@ -1,0 +1,132 @@
+"""A minimal deterministic event loop.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.  The
+sequence number breaks ties so that events scheduled at the same virtual time
+fire in scheduling order, which makes every simulation run bit-reproducible
+for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock, VirtualClock
+
+
+class Event:
+    """A scheduled callback.  Cancel with :meth:`cancel`."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], Any]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} seq={self.seq}{state}>"
+
+
+class EventLoop:
+    """Drives a :class:`VirtualClock` through a heap of timed callbacks.
+
+    The loop is single-threaded and re-entrant: callbacks may schedule new
+    events (including at the current time) and they will run in order.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None):
+        self.clock: VirtualClock = clock if clock is not None else VirtualClock()
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling -------------------------------------------------------
+
+    def call_at(self, when: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run at absolute time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(
+                f"cannot schedule event in the past: {when} < {self.clock.now()}"
+            )
+        event = Event(when, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_after(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self.clock.now() + delay, callback)
+
+    def call_soon(self, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at the current time (after pending same-time
+        events that were scheduled earlier)."""
+        return self.call_at(self.clock.now(), callback)
+
+    # -- introspection ----------------------------------------------------
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the number of events executed.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so that metrics windows line
+        up with the requested horizon.
+        """
+        if self._running:
+            raise RuntimeError("event loop is already running")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and until > self.clock.now():
+            self.clock.advance_to(until)
+        return executed

@@ -1,0 +1,95 @@
+"""Open-loop load generator.
+
+Drives any :class:`~repro.server.InferenceServer` with Poisson arrivals
+drawn from a dataset, discards a warmup prefix, and summarises latency and
+achieved throughput — the measurement loop behind every serving figure in
+the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.metrics.latency import LatencyStats
+from repro.metrics.summary import RunSummary
+from repro.server import InferenceServer
+from repro.workload.arrivals import PoissonArrivals
+
+
+class RunResult:
+    """Everything one load point produced."""
+
+    def __init__(
+        self,
+        summary: RunSummary,
+        stats: LatencyStats,
+        server: InferenceServer,
+        duration: float,
+    ):
+        self.summary = summary
+        self.stats = stats
+        self.server = server
+        self.duration = duration
+
+
+class LoadGenerator:
+    """Submit ``num_requests`` Poisson arrivals and measure the outcome.
+
+    ``warmup_fraction`` of the earliest-arriving requests are excluded from
+    the statistics (they see an empty system); throughput is measured over
+    the finish-time span of the measured requests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        num_requests: int,
+        seed: int = 0,
+        warmup_fraction: float = 0.1,
+    ):
+        if num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.rate = rate
+        self.num_requests = num_requests
+        self.seed = seed
+        self.warmup_fraction = warmup_fraction
+
+    def run(
+        self,
+        server: InferenceServer,
+        dataset: Any,
+        deadline: Optional[float] = None,
+    ) -> RunResult:
+        """Run the experiment to completion (or ``deadline`` virtual seconds)."""
+        arrivals = PoissonArrivals(self.rate, seed=self.seed)
+        times = arrivals.times(self.num_requests)
+        for when in times:
+            server.submit(dataset.sample_one(), arrival_time=when)
+        server.drain(until=deadline)
+
+        warmup_cutoff = int(self.num_requests * self.warmup_fraction)
+        measured = [
+            r
+            for r in server.finished
+            if r.request_id >= warmup_cutoff
+        ]
+        if not measured:
+            raise RuntimeError(
+                f"no requests finished after warmup on {server.name!r} "
+                f"(rate={self.rate}, n={self.num_requests}) — the system is "
+                "overloaded for this horizon"
+            )
+        stats = LatencyStats().extend(measured)
+        first = min(r.arrival_time for r in measured)
+        last = max(r.finish_time for r in measured)
+        span = max(last - first, 1e-9)
+        throughput = len(measured) / span
+        summary = RunSummary(
+            system=server.name,
+            offered_rate=self.rate,
+            throughput=throughput,
+            stats=stats,
+        )
+        return RunResult(summary, stats, server, duration=last)

@@ -1,0 +1,110 @@
+"""Request-trace recording and replay.
+
+A trace is a list of ``(arrival_time, payload)`` pairs.  Recording a trace
+once and replaying it against several servers gives an exact
+apples-to-apples comparison (the load generator otherwise re-samples the
+dataset per run — identical given the same seed, but a trace makes the
+equivalence explicit and persistable).
+
+Traces serialise to JSON lines; tree payloads round-trip through a nested
+token/children encoding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.models.tree_lstm import TreeNodeSpec, TreePayload
+from repro.server import InferenceServer
+from repro.workload.arrivals import PoissonArrivals
+
+
+def _encode_payload(payload: Any) -> Any:
+    if isinstance(payload, TreePayload):
+        return {"__tree__": _encode_tree(payload.root)}
+    if isinstance(payload, dict):
+        return {"__dict__": payload}
+    return payload
+
+
+def _encode_tree(node: TreeNodeSpec) -> Any:
+    if node.is_leaf:
+        return {"token": node.token}
+    return {"left": _encode_tree(node.left), "right": _encode_tree(node.right)}
+
+
+def _decode_payload(raw: Any) -> Any:
+    if isinstance(raw, dict) and "__tree__" in raw:
+        return TreePayload(_decode_tree(raw["__tree__"]))
+    if isinstance(raw, dict) and "__dict__" in raw:
+        return raw["__dict__"]
+    return raw
+
+
+def _decode_tree(raw: Any) -> TreeNodeSpec:
+    if "token" in raw:
+        return TreeNodeSpec(token=raw["token"])
+    return TreeNodeSpec(
+        left=_decode_tree(raw["left"]), right=_decode_tree(raw["right"])
+    )
+
+
+class RequestTrace:
+    """An immutable, replayable sequence of timed requests."""
+
+    def __init__(self, entries: Iterable[Tuple[float, Any]]):
+        self.entries: List[Tuple[float, Any]] = sorted(entries, key=lambda e: e[0])
+        for t, _ in self.entries:
+            if t < 0:
+                raise ValueError("arrival times must be non-negative")
+
+    @classmethod
+    def record(
+        cls,
+        dataset: Any,
+        rate: float,
+        num_requests: int,
+        seed: int = 0,
+    ) -> "RequestTrace":
+        """Sample a Poisson trace from a dataset (the load generator's
+        sampling, captured)."""
+        times = PoissonArrivals(rate, seed=seed).times(num_requests)
+        return cls((t, dataset.sample_one()) for t in times)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def duration(self) -> float:
+        return self.entries[-1][0] if self.entries else 0.0
+
+    def replay(self, server: InferenceServer, drain: bool = True) -> List:
+        """Submit every entry to ``server``; returns the request handles."""
+        requests = [
+            server.submit(payload, arrival_time=t) for t, payload in self.entries
+        ]
+        if drain:
+            server.drain()
+        return requests
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path) -> None:
+        with open(Path(path), "w") as f:
+            for t, payload in self.entries:
+                f.write(
+                    json.dumps({"t": t, "payload": _encode_payload(payload)}) + "\n"
+                )
+
+    @classmethod
+    def load(cls, path) -> "RequestTrace":
+        entries = []
+        with open(Path(path)) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                entries.append((record["t"], _decode_payload(record["payload"])))
+        return cls(entries)

@@ -1,0 +1,149 @@
+"""Tests for the attention cells and the attention Seq2Seq model."""
+
+import numpy as np
+import pytest
+
+from repro.cells.attention import AttentionDecoderCell, AttentionEncoderCell
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.models.attention_seq2seq import AttentionSeq2SeqModel
+from repro.tensor.parameters import ParameterStore
+
+
+@pytest.fixture
+def params():
+    return ParameterStore(seed=0)
+
+
+class TestAttentionEncoderCell:
+    def test_memory_row_written(self, params):
+        cell = AttentionEncoderCell("e", 10, 4, 6, max_src=5, params=params)
+        mem = np.zeros((2, 5, 6), dtype=np.float32)
+        out = cell(
+            {
+                "ids": np.array([1, 2]),
+                "h": np.zeros((2, 6), np.float32),
+                "c": np.zeros((2, 6), np.float32),
+                "mem": mem,
+                "pos": np.array([0, 3]),
+            }
+        )
+        np.testing.assert_array_equal(out["mem"][0, 0], out["h"][0])
+        np.testing.assert_array_equal(out["mem"][1, 3], out["h"][1])
+        # Untouched rows stay zero; the input memory is not mutated.
+        assert np.all(out["mem"][0, 1:] == 0)
+        assert np.all(mem == 0)
+
+    def test_position_out_of_range_raises(self, params):
+        cell = AttentionEncoderCell("e", 10, 4, 6, max_src=3, params=params)
+        with pytest.raises(IndexError, match="memory range"):
+            cell(
+                {
+                    "ids": np.array([1]),
+                    "h": np.zeros((1, 6), np.float32),
+                    "c": np.zeros((1, 6), np.float32),
+                    "mem": np.zeros((1, 3, 6), np.float32),
+                    "pos": np.array([3]),
+                }
+            )
+
+
+class TestAttentionDecoderCell:
+    def test_attention_weights_sum_to_one_over_valid(self, params):
+        cell = AttentionDecoderCell("d", 10, 4, 6, max_src=4, params=params)
+        rng = np.random.default_rng(0)
+        mem = rng.standard_normal((3, 4, 6)).astype(np.float32)
+        mask = np.array(
+            [[1, 1, 0, 0], [1, 1, 1, 1], [1, 0, 0, 0]], dtype=np.float32
+        )
+        weights = cell.attention_weights(
+            rng.standard_normal((3, 6)).astype(np.float32), mem, mask
+        )
+        np.testing.assert_allclose(weights.sum(axis=1), np.ones(3), atol=1e-6)
+        assert np.all(weights[0, 2:] < 1e-6)  # masked positions get no weight
+        assert weights[2, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_batch_commutation(self, params):
+        cell = AttentionDecoderCell("d", 10, 4, 6, max_src=4, params=params)
+        rng = np.random.default_rng(1)
+        inputs = {
+            "ids": rng.integers(0, 10, size=3),
+            "h": rng.standard_normal((3, 6)).astype(np.float32),
+            "c": rng.standard_normal((3, 6)).astype(np.float32),
+            "mem": rng.standard_normal((3, 4, 6)).astype(np.float32),
+            "mask": np.ones((3, 4), dtype=np.float32),
+        }
+        batched = cell(inputs)
+        for i in range(3):
+            single = cell({k: v[i : i + 1] for k, v in inputs.items()})
+            np.testing.assert_allclose(batched["h"][i], single["h"][0], atol=1e-5)
+            assert batched["token"][i] == single["token"][0]
+
+
+class TestAttentionModel:
+    def make_model(self):
+        return AttentionSeq2SeqModel(
+            hidden_dim=10,
+            src_vocab_size=20,
+            tgt_vocab_size=20,
+            embed_dim=5,
+            max_src=8,
+            real=True,
+            seed=4,
+        )
+
+    def test_served_results_match_reference(self):
+        model = self.make_model()
+        server = BatchMakerServer(
+            model, config=BatchingConfig.with_max_batch(4), real_compute=True
+        )
+        rng = np.random.default_rng(2)
+        payloads = [
+            {
+                "src": [int(t) for t in rng.integers(0, 20, size=rng.integers(1, 8))],
+                "tgt_len": int(rng.integers(1, 6)),
+            }
+            for _ in range(8)
+        ]
+        requests = [
+            server.submit(p, arrival_time=i * 1e-4) for i, p in enumerate(payloads)
+        ]
+        server.drain()
+        for request, payload in zip(requests, payloads):
+            got = [int(np.asarray(t).reshape(())) for t in request.result]
+            assert got == model.reference_forward(payload)
+
+    def test_source_longer_than_memory_rejected(self):
+        model = self.make_model()
+        with pytest.raises(ValueError, match="memory capacity"):
+            model.reference_forward({"src": list(range(9)), "tgt_len": 2})
+
+    def test_unfold_structure(self):
+        from repro.core.cell_graph import CellGraph
+
+        model = AttentionSeq2SeqModel(max_src=16)
+        graph = CellGraph()
+        model.unfold(graph, {"src": 5, "tgt_len": 3})
+        assert graph.cell_type_census() == {
+            "attn_encoder": 5,
+            "attn_decoder": 3,
+        }
+
+    def test_sim_mode_serves(self):
+        model = AttentionSeq2SeqModel(max_src=64)
+        server = BatchMakerServer(
+            model,
+            config=BatchingConfig.with_max_batch(
+                256, per_cell_priority={"attn_decoder": 1}
+            ),
+        )
+        for i in range(10):
+            server.submit({"src": 12, "tgt_len": 10}, arrival_time=i * 1e-4)
+        server.drain()
+        assert len(server.finished) == 10
+
+    def test_phases_for_padding_baseline(self):
+        model = AttentionSeq2SeqModel(max_src=64)
+        assert model.phases({"src": 7, "tgt_len": 4}) == [
+            ("attn_encoder", 7),
+            ("attn_decoder", 4),
+        ]

@@ -1,0 +1,283 @@
+"""Tests for the cell library: LSTM, GRU, embedding, projection, TreeLSTM,
+composite and graph-defined cells.  Each cell is checked for shape
+discipline, determinism, and the batch-commutation property."""
+
+import numpy as np
+import pytest
+
+from repro.cells import (
+    CompositeCell,
+    EmbeddingCell,
+    GraphCell,
+    GRUCell,
+    LSTMCell,
+    ProjectionCell,
+    TreeInternalCell,
+    TreeLeafCell,
+)
+from repro.tensor.graph import DataflowGraph
+from repro.tensor.parameters import ParameterStore
+
+
+@pytest.fixture
+def params():
+    return ParameterStore(seed=0)
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, params):
+        cell = LSTMCell("l", 4, 6, params)
+        state = cell.zero_state(3)
+        out = cell({"x": np.zeros((3, 4), np.float32), **state})
+        assert out["h"].shape == (3, 6)
+        assert out["c"].shape == (3, 6)
+
+    def test_zero_input_zero_state_gives_bounded_output(self, params):
+        cell = LSTMCell("l", 4, 6, params)
+        out = cell({"x": np.zeros((1, 4), np.float32), **cell.zero_state(1)})
+        assert np.all(np.abs(out["h"]) < 1.0)
+
+    def test_wrong_input_dim_raises(self, params):
+        cell = LSTMCell("l", 4, 6, params)
+        with pytest.raises(ValueError, match="expected 4"):
+            cell({"x": np.zeros((1, 5), np.float32), **cell.zero_state(1)})
+
+    def test_missing_input_raises(self, params):
+        cell = LSTMCell("l", 4, 6, params)
+        with pytest.raises(KeyError, match="missing inputs"):
+            cell({"x": np.zeros((1, 4), np.float32)})
+
+    def test_state_evolves_with_input(self, params):
+        cell = LSTMCell("l", 4, 6, params)
+        rng = np.random.default_rng(0)
+        state = cell.zero_state(1)
+        x1 = rng.standard_normal((1, 4)).astype(np.float32)
+        out1 = cell({"x": x1, **state})
+        out2 = cell({"x": x1, "h": out1["h"], "c": out1["c"]})
+        assert not np.allclose(out1["h"], out2["h"])
+
+    def test_batch_commutation(self, params):
+        cell = LSTMCell("l", 4, 6, params)
+        rng = np.random.default_rng(0)
+        xs = rng.standard_normal((5, 4)).astype(np.float32)
+        hs = rng.standard_normal((5, 6)).astype(np.float32)
+        cs = rng.standard_normal((5, 6)).astype(np.float32)
+        batched = cell({"x": xs, "h": hs, "c": cs})
+        for i in range(5):
+            single = cell(
+                {"x": xs[i : i + 1], "h": hs[i : i + 1], "c": cs[i : i + 1]}
+            )
+            np.testing.assert_allclose(batched["h"][i], single["h"][0], atol=1e-6)
+            np.testing.assert_allclose(batched["c"][i], single["c"][0], atol=1e-6)
+
+    def test_invalid_dims_raise(self, params):
+        with pytest.raises(ValueError):
+            LSTMCell("l", 0, 6, params)
+
+    def test_forget_bias_keeps_memory(self, params):
+        cell = LSTMCell("l", 2, 3, params, forget_bias=100.0)
+        c = np.ones((1, 3), np.float32)
+        out = cell({"x": np.zeros((1, 2), np.float32), "h": np.zeros((1, 3), np.float32), "c": c})
+        # With an overwhelming forget bias, c is carried through (plus input).
+        assert np.all(out["c"] > 0.5)
+
+
+class TestGRUCell:
+    def test_output_shape(self, params):
+        cell = GRUCell("g", 3, 5, params)
+        out = cell({"x": np.zeros((2, 3), np.float32), **cell.zero_state(2)})
+        assert out["h"].shape == (2, 5)
+
+    def test_batch_commutation(self, params):
+        cell = GRUCell("g", 3, 5, params)
+        rng = np.random.default_rng(0)
+        xs = rng.standard_normal((4, 3)).astype(np.float32)
+        hs = rng.standard_normal((4, 5)).astype(np.float32)
+        batched = cell({"x": xs, "h": hs})
+        for i in range(4):
+            single = cell({"x": xs[i : i + 1], "h": hs[i : i + 1]})
+            np.testing.assert_allclose(batched["h"][i], single["h"][0], atol=1e-6)
+
+    def test_wrong_dim_raises(self, params):
+        cell = GRUCell("g", 3, 5, params)
+        with pytest.raises(ValueError, match="expected 3"):
+            cell({"x": np.zeros((1, 4), np.float32), **cell.zero_state(1)})
+
+
+class TestEmbeddingCell:
+    def test_lookup_shape(self, params):
+        cell = EmbeddingCell("e", 10, 4, params)
+        out = cell({"ids": np.array([1, 2, 3])})
+        assert out["emb"].shape == (3, 4)
+
+    def test_same_id_same_row(self, params):
+        cell = EmbeddingCell("e", 10, 4, params)
+        out = cell({"ids": np.array([7, 7])})
+        np.testing.assert_array_equal(out["emb"][0], out["emb"][1])
+
+    def test_2d_ids_are_flattened(self, params):
+        cell = EmbeddingCell("e", 10, 4, params)
+        out = cell({"ids": np.array([[1], [2]])})
+        assert out["emb"].shape == (2, 4)
+
+
+class TestProjectionCell:
+    def test_outputs(self, params):
+        cell = ProjectionCell("p", 6, 11, params)
+        out = cell({"h": np.zeros((3, 6), np.float32)})
+        assert out["logits"].shape == (3, 11)
+        assert out["token"].shape == (3,)
+
+    def test_token_is_argmax_of_logits(self, params):
+        cell = ProjectionCell("p", 6, 11, params)
+        h = np.random.default_rng(0).standard_normal((4, 6)).astype(np.float32)
+        out = cell({"h": h})
+        np.testing.assert_array_equal(out["token"], np.argmax(out["logits"], axis=-1))
+
+    def test_wrong_hidden_dim_raises(self, params):
+        cell = ProjectionCell("p", 6, 11, params)
+        with pytest.raises(ValueError, match="expected 6"):
+            cell({"h": np.zeros((1, 7), np.float32)})
+
+
+class TestTreeCells:
+    def test_leaf_shapes(self, params):
+        cell = TreeLeafCell("leaf", 20, 4, 6, params)
+        out = cell({"ids": np.array([3, 5])})
+        assert out["h"].shape == (2, 6)
+        assert out["c"].shape == (2, 6)
+
+    def test_internal_shapes(self, params):
+        cell = TreeInternalCell("int", 6, params)
+        z = np.zeros((2, 6), np.float32)
+        out = cell({"h_l": z, "c_l": z, "h_r": z, "c_r": z})
+        assert out["h"].shape == (2, 6)
+
+    def test_internal_is_order_sensitive(self, params):
+        cell = TreeInternalCell("int", 6, params)
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((1, 6)).astype(np.float32)
+        b = rng.standard_normal((1, 6)).astype(np.float32)
+        z = np.zeros((1, 6), np.float32)
+        left_right = cell({"h_l": a, "c_l": z, "h_r": b, "c_r": z})
+        right_left = cell({"h_l": b, "c_l": z, "h_r": a, "c_r": z})
+        assert not np.allclose(left_right["h"], right_left["h"])
+
+    def test_batch_commutation_internal(self, params):
+        cell = TreeInternalCell("int", 5, params)
+        rng = np.random.default_rng(0)
+        inputs = {
+            k: rng.standard_normal((3, 5)).astype(np.float32)
+            for k in ("h_l", "c_l", "h_r", "c_r")
+        }
+        batched = cell(inputs)
+        for i in range(3):
+            single = cell({k: v[i : i + 1] for k, v in inputs.items()})
+            np.testing.assert_allclose(batched["h"][i], single["h"][0], atol=1e-6)
+
+
+class TestCompositeCell:
+    def build(self, params):
+        embed = EmbeddingCell("e", 10, 4, params)
+        lstm = LSTMCell("l", 4, 6, params)
+        return CompositeCell(
+            "step",
+            input_names=("ids", "h", "c"),
+            output_names=("h", "c"),
+            stages=[
+                (embed, {"ids": ("external", "ids")}),
+                (
+                    lstm,
+                    {
+                        "x": ("stage", 0, "emb"),
+                        "h": ("external", "h"),
+                        "c": ("external", "c"),
+                    },
+                ),
+            ],
+            exports={"h": ("stage", 1, "h"), "c": ("stage", 1, "c")},
+        ), embed, lstm
+
+    def test_composite_equals_manual_chain(self, params):
+        composite, embed, lstm = self.build(params)
+        ids = np.array([3, 7])
+        h = np.zeros((2, 6), np.float32)
+        c = np.zeros((2, 6), np.float32)
+        out = composite({"ids": ids, "h": h, "c": c})
+        manual = lstm({"x": embed({"ids": ids})["emb"], "h": h, "c": c})
+        np.testing.assert_allclose(out["h"], manual["h"])
+
+    def test_num_operators_sums_stages(self, params):
+        composite, embed, lstm = self.build(params)
+        assert composite.num_operators() == embed.num_operators() + lstm.num_operators()
+
+    def test_input_shape_delegates(self, params):
+        composite, _, _ = self.build(params)
+        assert composite.input_shape("h") == (6,)
+        assert composite.input_shape("ids") == ()
+
+    def test_unwired_input_raises(self, params):
+        lstm = LSTMCell("l2", 4, 6, params)
+        with pytest.raises(ValueError, match="unwired"):
+            CompositeCell(
+                "bad",
+                input_names=("x",),
+                output_names=("h",),
+                stages=[(lstm, {"x": ("external", "x")})],
+                exports={"h": ("stage", 0, "h")},
+            )
+
+    def test_forward_stage_reference_raises(self, params):
+        embed = EmbeddingCell("e2", 10, 4, params)
+        with pytest.raises(ValueError, match="out of range"):
+            CompositeCell(
+                "bad",
+                input_names=("ids",),
+                output_names=("emb",),
+                stages=[(embed, {"ids": ("stage", 0, "emb")})],
+                exports={"emb": ("stage", 0, "emb")},
+            )
+
+    def test_unexported_output_raises(self, params):
+        embed = EmbeddingCell("e3", 10, 4, params)
+        with pytest.raises(ValueError, match="unexported"):
+            CompositeCell(
+                "bad",
+                input_names=("ids",),
+                output_names=("emb",),
+                stages=[(embed, {"ids": ("external", "ids")})],
+                exports={},
+            )
+
+
+class TestGraphCell:
+    def test_graph_cell_computes(self, params):
+        params.create("W", (3, 2))
+        g = DataflowGraph("dense")
+        g.placeholder("x")
+        g.parameter("W")
+        g.op("y", "matmul", "x", "W")
+        g.output("y")
+        cell = GraphCell(g, params)
+        out = cell({"x": np.ones((2, 3), np.float32)})
+        np.testing.assert_allclose(out["y"], np.ones((2, 3)) @ params.get("W"))
+
+    def test_missing_weights_raise(self, params):
+        g = DataflowGraph("dense")
+        g.placeholder("x")
+        g.parameter("missing")
+        g.op("y", "sigmoid", "x")
+        g.output("y")
+        with pytest.raises(KeyError, match="missing weights"):
+            GraphCell(g, params)
+
+    def test_from_json(self, params):
+        params.create("W", (2, 2))
+        g = DataflowGraph("d")
+        g.placeholder("x")
+        g.parameter("W")
+        g.op("y", "matmul", "x", "W")
+        g.output("y")
+        cell = GraphCell.from_json(g.to_json(), params, input_shapes={"x": (2,)})
+        assert cell.input_shape("x") == (2,)
+        assert cell.num_operators() == 1

@@ -1,0 +1,67 @@
+"""Tests for the batching configuration."""
+
+import pytest
+
+from repro.core.config import BatchingConfig, CellTypeConfig
+
+
+class TestCellTypeConfig:
+    def test_max_and_min(self):
+        config = CellTypeConfig(batch_sizes=(1, 4, 16, 64))
+        assert config.max_batch == 64
+        assert config.min_batch == 1
+
+    def test_sizes_are_sorted_and_deduped(self):
+        config = CellTypeConfig(batch_sizes=(8, 2, 8, 4))
+        assert config.batch_sizes == (2, 4, 8)
+
+    def test_empty_sizes_raise(self):
+        with pytest.raises(ValueError):
+            CellTypeConfig(batch_sizes=())
+
+    def test_nonpositive_sizes_raise(self):
+        with pytest.raises(ValueError):
+            CellTypeConfig(batch_sizes=(0, 2))
+
+
+class TestBatchingConfig:
+    def test_default_for_unknown_cell(self):
+        config = BatchingConfig()
+        assert config.for_cell("anything").max_batch == 512
+
+    def test_per_cell_override(self):
+        config = BatchingConfig(
+            per_cell={"decoder": CellTypeConfig(batch_sizes=(1, 256), priority=1)}
+        )
+        assert config.for_cell("decoder").max_batch == 256
+        assert config.for_cell("decoder").priority == 1
+        assert config.for_cell("encoder").max_batch == 512
+
+    def test_invalid_max_tasks_raises(self):
+        with pytest.raises(ValueError):
+            BatchingConfig(max_tasks_to_submit=0)
+
+    def test_with_max_batch_builds_power_of_two_ladder(self):
+        config = BatchingConfig.with_max_batch(64)
+        assert config.default.batch_sizes == (1, 2, 4, 8, 16, 32, 64)
+
+    def test_with_max_batch_non_power_of_two(self):
+        config = BatchingConfig.with_max_batch(48)
+        assert config.default.batch_sizes[-1] == 48
+
+    def test_with_max_batch_per_cell_overrides(self):
+        config = BatchingConfig.with_max_batch(
+            512,
+            per_cell_max={"decoder": 256},
+            per_cell_priority={"decoder": 2, "encoder": 1},
+        )
+        assert config.for_cell("decoder").max_batch == 256
+        assert config.for_cell("decoder").priority == 2
+        assert config.for_cell("encoder").max_batch == 512
+        assert config.for_cell("encoder").priority == 1
+
+    def test_paper_default_max_tasks_is_five(self):
+        assert BatchingConfig().max_tasks_to_submit == 5
+
+    def test_pinning_default_on(self):
+        assert BatchingConfig().pinning is True

@@ -1,0 +1,123 @@
+"""Tests for Subgraph scheduling state: readiness, pinning, release."""
+
+import pytest
+
+from repro.core.cell_graph import CellGraph
+from repro.core.request import InferenceRequest
+from repro.core.subgraph import partition_into_subgraphs
+from repro.models import LSTMChainModel, Seq2SeqModel
+
+
+def chain_subgraph(length=5):
+    model = LSTMChainModel()
+    graph = CellGraph()
+    model.unfold(graph, length)
+    request = InferenceRequest(0, length, 0.0)
+    request.graph = graph
+    (sg,) = partition_into_subgraphs(graph, request)
+    request.subgraphs = {sg.subgraph_id: sg}
+    return sg
+
+
+class TestOptimisticReadiness:
+    def test_chain_exposes_one_ready_node_at_a_time(self):
+        sg = chain_subgraph(3)
+        assert sg.ready_count() == 1
+        taken = sg.take_ready(10)
+        assert taken == [0]
+        assert sg.ready_count() == 0
+        sg.mark_submitted(taken)
+        assert sg.ready_count() == 1  # node 1 became ready optimistically
+
+    def test_take_ready_respects_limit(self):
+        sg = chain_subgraph(3)
+        assert sg.take_ready(0) == []
+        assert sg.take_ready(1) == [0]
+
+    def test_exhausted_after_all_submitted(self):
+        sg = chain_subgraph(2)
+        for _ in range(2):
+            nodes = sg.take_ready(1)
+            sg.mark_submitted(nodes)
+        assert sg.exhausted()
+
+    def test_oversubmission_raises(self):
+        sg = chain_subgraph(1)
+        sg.mark_submitted(sg.take_ready(1))
+        with pytest.raises(RuntimeError, match="oversubmitted"):
+            sg.mark_submitted([0])
+
+
+class TestNonOptimisticReadiness:
+    def test_completion_drives_readiness(self):
+        sg = chain_subgraph(3)
+        sg.optimistic = False
+        nodes = sg.take_ready(1)
+        sg.mark_submitted(nodes)
+        assert sg.ready_count() == 0  # submission alone does not advance
+        sg.mark_completed_internal(nodes)
+        assert sg.ready_count() == 1
+
+    def test_mark_completed_internal_requires_non_optimistic(self):
+        sg = chain_subgraph(2)
+        with pytest.raises(RuntimeError, match="optimistic"):
+            sg.mark_completed_internal([0])
+
+
+class TestPinning:
+    def test_pin_unpin_cycle(self):
+        sg = chain_subgraph(3)
+        sg.pin(worker_id=1)
+        sg.pin(worker_id=1)
+        assert sg.pinned == 1
+        assert sg.inflight == 2
+        sg.task_done(1)
+        assert sg.pinned == 1
+        sg.task_done(1)
+        assert sg.pinned is None  # unpinned when no tasks in flight
+
+    def test_conflicting_pin_raises(self):
+        sg = chain_subgraph(2)
+        sg.pin(worker_id=0)
+        with pytest.raises(RuntimeError, match="already pinned"):
+            sg.pin(worker_id=1)
+
+    def test_completion_underflow_raises(self):
+        sg = chain_subgraph(1)
+        sg.pin(0)
+        with pytest.raises(RuntimeError, match="underflow"):
+            sg.task_done(5)
+
+
+class TestExternalRelease:
+    def _seq2seq_subgraphs(self):
+        model = Seq2SeqModel()
+        graph = CellGraph()
+        model.unfold(graph, {"src": 3, "tgt_len": 2})
+        request = InferenceRequest(0, None, 0.0)
+        request.graph = graph
+        subgraphs = partition_into_subgraphs(graph, request)
+        request.subgraphs = {sg.subgraph_id: sg for sg in subgraphs}
+        return graph, {sg.cell_type_name: sg for sg in subgraphs}
+
+    def test_satisfy_external_releases_decoder(self):
+        graph, by_type = self._seq2seq_subgraphs()
+        decoder = by_type["decoder"]
+        last_encoder = max(by_type["encoder"].node_ids)
+        first_decoder = min(decoder.node_ids)
+        became_releasable = decoder.satisfy_external(last_encoder, first_decoder)
+        assert became_releasable
+        assert decoder.is_releasable()
+
+    def test_untracked_edge_is_ignored(self):
+        graph, by_type = self._seq2seq_subgraphs()
+        decoder = by_type["decoder"]
+        decoder.satisfy_external(999, 998)  # unknown edge: no-op
+        assert decoder.external_pending == 1
+
+    def test_released_flag_blocks_releasable(self):
+        graph, by_type = self._seq2seq_subgraphs()
+        encoder = by_type["encoder"]
+        assert encoder.is_releasable()
+        encoder.released = True
+        assert not encoder.is_releasable()

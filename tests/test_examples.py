@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion.
+
+The fast, real-compute examples run in-process via runpy; the heavier
+simulation examples are executed once each (a few seconds of virtual-time
+serving) — they are the repository's end-to-end acceptance tests.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_translation_service(self, capsys):
+        out = run_example("translation_service.py", capsys)
+        assert "bit-identical" in out
+        assert "Batched tasks executed" in out
+
+    def test_sentiment_treelstm(self, capsys):
+        out = run_example("sentiment_treelstm.py", capsys)
+        assert "TreeLSTM sentiment service" in out
+        assert out.count("->") >= 6
+
+    def test_advanced_decoding(self, capsys):
+        out = run_example("advanced_decoding.py", capsys)
+        assert "Beam-search decoding" in out
+        assert "Attention decoding" in out
+        assert "serving report" in out
+
+
+class TestSimulationExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "BatchMaker" in out
+        assert "Padding+bucketing" in out
+
+    def test_compare_batching(self, capsys):
+        out = run_example("compare_batching.py", capsys)
+        assert "DyNet" in out and "TF Fold" in out and "Ideal" in out
+
+    def test_multi_gpu_scaling(self, capsys):
+        out = run_example("multi_gpu_scaling.py", capsys)
+        assert "BatchMaker x4 GPU" in out

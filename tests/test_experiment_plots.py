@@ -1,0 +1,66 @@
+"""Tests for the per-figure plot() functions using synthetic results
+(full experiment runs are exercised by the benchmark suite)."""
+
+import pytest
+
+from repro.core.request import InferenceRequest
+from repro.experiments import (
+    fig7_lstm,
+    fig8_bucket_width,
+    fig11_variance,
+    fig13_seq2seq,
+    fig14_treelstm,
+    fig15_fixed_tree,
+)
+from repro.metrics.latency import LatencyStats
+from repro.metrics.summary import RunSummary
+
+
+def summary(system, rate, throughput, p90_s=0.01):
+    request = InferenceRequest(0, None, 0.0)
+    request.mark_started(0.0)
+    request.mark_finished(p90_s)
+    return RunSummary(system, rate, throughput, LatencyStats().extend([request]))
+
+
+def sweep(*systems):
+    return {
+        name: [summary(name, r, r * 0.98) for r in (1000, 2000)]
+        for name in systems
+    }
+
+
+class TestSweepPlots:
+    def test_fig7_plot(self, tmp_path):
+        results = {512: sweep("BatchMaker", "MXNet"), 64: sweep("BatchMaker")}
+        paths = fig7_lstm.plot(results, tmp_path)
+        assert len(paths) == 2
+        for path in paths:
+            assert (tmp_path / path.split("/")[-1]).read_text().startswith("<svg")
+
+    def test_fig8_plot(self, tmp_path):
+        paths = fig8_bucket_width.plot(sweep("bw 1", "bw 10"), tmp_path)
+        assert len(paths) == 1
+
+    def test_fig11_plot(self, tmp_path):
+        results = {
+            "fixed length 24": sweep("BatchMaker", "MXNet"),
+            "max length 100": sweep("BatchMaker", "MXNet"),
+        }
+        paths = fig11_variance.plot(results, tmp_path)
+        assert len(paths) == 2
+        assert any("fixed_length_24" in p for p in paths)
+
+    def test_fig13_plot(self, tmp_path):
+        results = {2: sweep("BatchMaker-512,256", "MXNet"), 4: sweep("MXNet")}
+        paths = fig13_seq2seq.plot(results, tmp_path)
+        assert len(paths) == 2
+        assert any("13a" in p for p in paths) and any("13b" in p for p in paths)
+
+    def test_fig14_plot(self, tmp_path):
+        paths = fig14_treelstm.plot(sweep("BatchMaker", "DyNet", "TF Fold"), tmp_path)
+        assert len(paths) == 1
+
+    def test_fig15_plot(self, tmp_path):
+        paths = fig15_fixed_tree.plot(sweep("Ideal", "BatchMaker"), tmp_path)
+        assert len(paths) == 1

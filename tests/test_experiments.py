@@ -1,0 +1,124 @@
+"""Smoke/shape tests for the experiment harness: every figure module must
+run in quick mode and reproduce the paper's qualitative shape."""
+
+import pytest
+
+from repro.experiments import (
+    common,
+    fig3_microbench,
+    fig5_timeline,
+    fig10_length_cdf,
+)
+
+
+class TestFig3:
+    def test_gpu_curve_shape(self):
+        result = fig3_microbench.run(quick=False)
+        times = [t for _, t, _ in result["gpu"]]
+        throughputs = [thr for _, _, thr in result["gpu"]]
+        assert times == sorted(times)  # exec time non-decreasing in batch
+        # Flat region at small batches, ~2x per doubling at large batches.
+        assert times[1] / times[0] < 1.2
+        assert times[-1] / times[-2] == pytest.approx(2.0, rel=0.05)
+        assert result["gpu_best_batch"] == 512
+        assert max(throughputs) == pytest.approx(512 / 784e-6, rel=0.01)
+
+    def test_cpu_much_slower(self):
+        result = fig3_microbench.run(quick=False)
+        gpu_peak = max(thr for _, _, thr in result["gpu"])
+        cpu_peak = max(thr for _, _, thr in result["cpu"])
+        assert gpu_peak > 5 * cpu_peak
+
+    def test_numpy_measurement_runs(self):
+        result = fig3_microbench.run(quick=True, measure_numpy=True)
+        assert len(result["numpy"]) >= 3
+        for batch, elapsed, throughput in result["numpy"]:
+            assert elapsed > 0
+            assert throughput == pytest.approx(batch / elapsed)
+
+
+class TestFig5:
+    def test_matches_paper_timeline(self):
+        result = fig5_timeline.run()
+        graph = result["graph"]
+        cellular = result["cellular"]
+        # Graph batching: first batch (req1-4) completes together at t=5;
+        # second batch starts at 5 and runs 7 units (req6's length).
+        for name in ("req1", "req2", "req3", "req4"):
+            assert graph[name][2] == pytest.approx(5.0)
+        for name in ("req5", "req6", "req7", "req8"):
+            assert graph[name][1] == pytest.approx(5.0)
+            assert graph[name][2] == pytest.approx(12.0)
+        # Cellular batching: req1 leaves at t=2, req2/3 at t=3; newcomers
+        # join the ongoing execution instead of waiting for the batch.
+        assert cellular["req1"][2] == pytest.approx(2.0)
+        assert cellular["req2"][2] == pytest.approx(3.0)
+        assert cellular["req5"][1] < 5.0
+        # Every request is at least as well off under cellular batching.
+        for name in graph:
+            graph_latency = graph[name][2] - graph[name][0]
+            cellular_latency = cellular[name][2] - cellular[name][0]
+            assert cellular_latency <= graph_latency + 1e-9
+
+
+class TestFig10:
+    def test_statistics_match_paper(self):
+        result = fig10_length_cdf.run(quick=False)
+        assert result["mean"] == pytest.approx(24, abs=1.5)
+        assert result["max"] == 330
+        assert result["cdf"][100] > 0.985
+        assert result["cdf"][330] == 1.0
+
+
+class TestCommonHelpers:
+    def test_peak_throughput_respects_latency_cap(self):
+        from repro.metrics.latency import LatencyStats
+        from repro.metrics.summary import RunSummary
+        from repro.core.request import InferenceRequest
+
+        def summary(throughput, p90_s):
+            request = InferenceRequest(0, None, 0.0)
+            request.mark_started(0.0)
+            request.mark_finished(p90_s)
+            stats = LatencyStats().extend([request])
+            return RunSummary("x", throughput, throughput, stats)
+
+        summaries = [summary(100, 0.01), summary(200, 0.8)]
+        assert common.peak_throughput(summaries, latency_cap_ms=500) == 100
+
+    def test_default_request_count_scales(self):
+        quick = common.default_request_count(True)
+        full = common.default_request_count(False)
+        assert quick(1000) < full(1000)
+        assert quick(50000) <= 6000
+
+    def test_server_factories_produce_named_servers(self):
+        assert common.lstm_batchmaker().name == "BatchMaker"
+        assert common.lstm_padded("MXNet").name == "MXNet"
+        assert common.seq2seq_batchmaker(512, 256, 2).name == "BatchMaker-512,256"
+        assert common.tree_dynet().name == "DyNet"
+        assert common.tree_tensorflow_fold().name == "TF Fold"
+
+
+class TestQuickEndToEnd:
+    """One small sweep through the serving comparison to keep the full
+    BatchMaker-vs-baseline pipeline covered by the unit suite."""
+
+    def test_batchmaker_beats_padding_at_moderate_load(self):
+        from repro.workload import SequenceDataset
+
+        bm = common.run_point(
+            common.lstm_batchmaker(),
+            lambda: SequenceDataset(seed=1),
+            rate=4000,
+            num_requests=2500,
+        )
+        padded = common.run_point(
+            common.lstm_padded("MXNet"),
+            lambda: SequenceDataset(seed=1),
+            rate=4000,
+            num_requests=2500,
+        )
+        assert bm.p90_ms < padded.p90_ms
+        # Queuing is the dominant factor (§7.3).
+        assert bm.stats.p(99, "queuing") < padded.stats.p(99, "queuing")

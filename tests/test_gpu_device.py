@@ -1,0 +1,132 @@
+"""Tests for the simulated GPU device and kernel abstractions."""
+
+import pytest
+
+from repro.gpu.device import DeviceTimeline, GPUDevice
+from repro.gpu.kernel import Kernel, SignalKernel
+from repro.sim.events import EventLoop
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+@pytest.fixture
+def device(loop):
+    return GPUDevice(loop, device_id=0)
+
+
+class TestKernel:
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            Kernel(-1.0)
+
+    def test_signal_kernel_is_zero_cost(self):
+        k = SignalKernel(lambda: None)
+        assert k.duration == 0.0
+
+
+class TestFIFOExecution:
+    def test_single_kernel_retires_after_duration(self, loop, device):
+        done = []
+        device.run_for(2.0, on_complete=lambda: done.append(loop.now()))
+        loop.run()
+        assert done == [2.0]
+
+    def test_kernels_run_back_to_back(self, loop, device):
+        done = []
+        device.run_for(1.0, on_complete=lambda: done.append(("a", loop.now())))
+        device.run_for(2.0, on_complete=lambda: done.append(("b", loop.now())))
+        loop.run()
+        assert done == [("a", 1.0), ("b", 3.0)]
+
+    def test_fifo_order_is_submission_order(self, loop, device):
+        done = []
+        for i in range(5):
+            device.run_for(0.5, on_complete=lambda i=i: done.append(i))
+        loop.run()
+        assert done == [0, 1, 2, 3, 4]
+
+    def test_submission_after_idle_starts_at_now(self, loop, device):
+        done = []
+        device.run_for(1.0, on_complete=lambda: None)
+        loop.call_at(5.0, lambda: device.run_for(1.0, on_complete=lambda: done.append(loop.now())))
+        loop.run()
+        assert done == [6.0]
+
+    def test_empty_submission_raises(self, device):
+        with pytest.raises(ValueError, match="empty"):
+            device.submit([])
+
+    def test_multi_kernel_sequence_signals_mid_stream(self, loop, device):
+        seen = []
+        device.submit(
+            [
+                Kernel(1.0),
+                SignalKernel(lambda: seen.append(("mid", loop.now()))),
+                Kernel(2.0),
+                SignalKernel(lambda: seen.append(("end", loop.now()))),
+            ]
+        )
+        loop.run()
+        assert seen == [("mid", 1.0), ("end", 3.0)]
+
+
+class TestDeviceIntrospection:
+    def test_free_at_tracks_backlog(self, loop, device):
+        device.run_for(3.0)
+        assert device.free_at == 3.0
+        assert device.backlog() == 3.0
+        assert not device.is_idle()
+
+    def test_idle_after_drain(self, loop, device):
+        device.run_for(1.0, on_complete=lambda: None)
+        loop.run()
+        assert device.is_idle()
+        assert device.backlog() == 0.0
+
+    def test_kernels_launched_counts(self, loop, device):
+        device.run_for(1.0, on_complete=lambda: None)  # compute + signal
+        device.run_for(1.0)  # compute only
+        assert device.kernels_launched == 3
+
+
+class TestCopyCost:
+    def test_zero_bytes_is_free(self, device):
+        assert device.copy_cost(0) == 0.0
+
+    def test_cost_has_latency_floor(self, device):
+        assert device.copy_cost(1) >= device.copy_latency
+
+    def test_cost_scales_with_size(self, device):
+        small = device.copy_cost(10_000)
+        large = device.copy_cost(10_000_000)
+        assert large > small
+
+    def test_negative_bytes_raise(self, device):
+        with pytest.raises(ValueError):
+            device.copy_cost(-1)
+
+
+class TestTimeline:
+    def test_busy_time_accumulates(self, loop, device):
+        device.run_for(1.0)
+        device.run_for(2.0)
+        loop.run()
+        assert device.timeline.busy_time() == pytest.approx(3.0)
+
+    def test_busy_time_window(self):
+        timeline = DeviceTimeline()
+        timeline.record(0.0, 2.0, None)
+        timeline.record(5.0, 6.0, None)
+        assert timeline.busy_time(since=1.0, until=5.5) == pytest.approx(1.5)
+
+    def test_utilization(self):
+        timeline = DeviceTimeline()
+        timeline.record(0.0, 1.0, None)
+        assert timeline.utilization(0.0, 4.0) == pytest.approx(0.25)
+
+    def test_utilization_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            DeviceTimeline().utilization(1.0, 1.0)

@@ -1,0 +1,74 @@
+"""Tests for the load generator and the common server interface."""
+
+import pytest
+
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.models import LSTMChainModel
+from repro.workload import FixedLengthDataset, LoadGenerator, SequenceDataset
+
+
+def make_server():
+    return BatchMakerServer(
+        LSTMChainModel(), config=BatchingConfig.with_max_batch(64)
+    )
+
+
+class TestLoadGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenerator(rate=100, num_requests=0)
+        with pytest.raises(ValueError):
+            LoadGenerator(rate=100, num_requests=10, warmup_fraction=1.0)
+
+    def test_run_finishes_all_requests(self):
+        generator = LoadGenerator(rate=2000, num_requests=500, seed=0)
+        result = generator.run(make_server(), SequenceDataset(seed=1))
+        assert len(result.server.finished) == 500
+
+    def test_warmup_requests_excluded(self):
+        generator = LoadGenerator(
+            rate=2000, num_requests=100, seed=0, warmup_fraction=0.2
+        )
+        result = generator.run(make_server(), FixedLengthDataset(5))
+        assert result.stats.count() == 80
+
+    def test_throughput_close_to_offered_under_light_load(self):
+        generator = LoadGenerator(rate=1000, num_requests=2000, seed=0)
+        result = generator.run(make_server(), FixedLengthDataset(10))
+        assert result.summary.throughput == pytest.approx(1000, rel=0.15)
+
+    def test_summary_system_name(self):
+        generator = LoadGenerator(rate=500, num_requests=100, seed=0)
+        result = generator.run(make_server(), FixedLengthDataset(3))
+        assert result.summary.system == "BatchMaker"
+
+    def test_deterministic_given_seed(self):
+        def once():
+            generator = LoadGenerator(rate=3000, num_requests=400, seed=9)
+            return generator.run(make_server(), SequenceDataset(seed=2))
+
+        a, b = once(), once()
+        assert a.summary.p90_ms == b.summary.p90_ms
+        assert a.summary.throughput == b.summary.throughput
+
+    def test_deadline_cuts_run_short(self):
+        generator = LoadGenerator(rate=100, num_requests=50, seed=0)
+        server = make_server()
+        result = generator.run(server, FixedLengthDataset(5), deadline=0.1)
+        assert len(server.finished) < 50
+
+
+class TestServerInterface:
+    def test_request_ids_are_sequential(self):
+        server = make_server()
+        first = server.submit(3, arrival_time=0.0)
+        second = server.submit(3, arrival_time=0.1)
+        assert (first.request_id, second.request_id) == (0, 1)
+
+    def test_submit_default_arrival_is_now(self):
+        server = make_server()
+        request = server.submit(3)
+        assert request.arrival_time == server.loop.now()
+
+    def test_repr_mentions_name(self):
+        assert "BatchMaker" in repr(make_server())

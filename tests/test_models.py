@@ -1,0 +1,182 @@
+"""Tests for the model zoo: unfolding, phases, payload validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.cell_graph import CellGraph
+from repro.models import LSTMChainModel, Seq2SeqModel, TreeLSTMModel
+from repro.models.seq2seq import EOS_TOKEN, GO_TOKEN, _normalize_payload
+from repro.models.tree_lstm import TreeNodeSpec, TreePayload
+
+
+def unfold(model, payload):
+    graph = CellGraph()
+    model.unfold(graph, payload)
+    return graph
+
+
+class TestLSTMChainModel:
+    def test_unfold_length(self):
+        graph = unfold(LSTMChainModel(), 7)
+        assert len(graph) == 7
+
+    def test_unfold_token_list(self):
+        graph = unfold(LSTMChainModel(), [4, 5, 6])
+        assert len(graph) == 3
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            unfold(LSTMChainModel(), 0)
+
+    def test_empty_token_list_raises(self):
+        with pytest.raises(ValueError):
+            unfold(LSTMChainModel(), [])
+
+    def test_phases(self):
+        assert LSTMChainModel().phases(12) == [("lstm", 12)]
+
+    def test_phases_with_projection(self):
+        model = LSTMChainModel(project_output=True)
+        assert model.phases(12) == [("lstm", 12), ("lstm_proj", 1)]
+
+    def test_projection_adds_node_and_cell_type(self):
+        model = LSTMChainModel(project_output=True)
+        graph = unfold(model, 4)
+        assert len(graph) == 5
+        assert {ct.name for ct in model.cell_types()} == {"lstm", "lstm_proj"}
+
+    def test_default_cost_model_covers_cells(self):
+        model = LSTMChainModel(project_output=True)
+        cost = model.default_cost_model()
+        for ct in model.cell_types():
+            assert cost.kernel_time(ct.name, 1) > 0
+
+    def test_result_is_final_hidden_state(self):
+        graph = unfold(LSTMChainModel(), 4)
+        assert graph.result_refs == [(3, "h")]
+
+    def test_total_cells(self):
+        assert LSTMChainModel().total_cells(9) == 9
+
+    def test_sim_mode_has_no_reference(self):
+        assert LSTMChainModel().reference_forward(3) is None
+
+
+class TestSeq2SeqModel:
+    def test_unfold_counts(self):
+        graph = unfold(Seq2SeqModel(), {"src": 5, "tgt_len": 3})
+        assert graph.cell_type_census() == {"encoder": 5, "decoder": 3}
+
+    def test_tuple_shorthand(self):
+        assert _normalize_payload((4, 2)) == {
+            "src": [0, 0, 0, 0],
+            "dynamic": False,
+            "tgt_len": 2,
+        }
+
+    def test_missing_src_raises(self):
+        with pytest.raises(ValueError, match="src"):
+            _normalize_payload({"tgt_len": 3})
+
+    def test_static_needs_tgt_len(self):
+        with pytest.raises(ValueError, match="tgt_len"):
+            _normalize_payload({"src": 3})
+
+    def test_decoder_feeds_previous_token(self):
+        graph = unfold(Seq2SeqModel(), {"src": 2, "tgt_len": 3})
+        decoders = [n for n in graph.nodes() if n.cell_type.name == "decoder"]
+        second = decoders[1]
+        ids_ref = second.inputs["ids"]
+        assert ids_ref.node_id == decoders[0].node_id
+        assert ids_ref.output == "token"
+
+    def test_first_decoder_takes_go_token_and_encoder_state(self):
+        graph = unfold(Seq2SeqModel(), {"src": 3, "tgt_len": 1})
+        decoder = next(n for n in graph.nodes() if n.cell_type.name == "decoder")
+        assert decoder.inputs["ids"].value == GO_TOKEN
+        assert decoder.inputs["h"].node_id == 2  # final encoder node
+
+    def test_dynamic_unfolds_single_decoder(self):
+        graph = unfold(Seq2SeqModel(), {"src": 4, "dynamic": True, "max_decode": 9})
+        assert graph.cell_type_census() == {"encoder": 4, "decoder": 1}
+
+    def test_extend_appends_decoder_until_budget(self):
+        model = Seq2SeqModel()
+        payload = {"src": 2, "dynamic": True, "max_decode": 2}
+        graph = unfold(model, payload)
+        decoder = next(n for n in graph.nodes() if n.cell_type.name == "decoder")
+        new = model.extend(graph, decoder, payload)
+        assert len(new) == 1
+        # Budget now exhausted (2 decoders exist).
+        assert model.extend(graph, new[0], payload) == []
+
+    def test_extend_stops_at_eos(self):
+        model = Seq2SeqModel()
+        payload = {"src": 2, "dynamic": True, "max_decode": 10}
+        graph = unfold(model, payload)
+        decoder = next(n for n in graph.nodes() if n.cell_type.name == "decoder")
+        decoder.outputs = {"token": np.asarray(EOS_TOKEN), "h": None, "c": None}
+        assert model.extend(graph, decoder, payload) == []
+
+    def test_extend_ignores_encoder_completions(self):
+        model = Seq2SeqModel()
+        payload = {"src": 2, "dynamic": True, "max_decode": 10}
+        graph = unfold(model, payload)
+        encoder = next(n for n in graph.nodes() if n.cell_type.name == "encoder")
+        assert model.extend(graph, encoder, payload) == []
+
+    def test_phases_static(self):
+        model = Seq2SeqModel()
+        assert model.phases({"src": 5, "tgt_len": 3}) == [
+            ("encoder", 5),
+            ("decoder", 3),
+        ]
+
+    def test_phases_dynamic_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            Seq2SeqModel().phases({"src": 5, "dynamic": True})
+
+
+class TestTreeModel:
+    def test_node_spec_validation(self):
+        with pytest.raises(ValueError, match="either a leaf or internal"):
+            TreeNodeSpec(token=1, left=TreeNodeSpec(token=2), right=TreeNodeSpec(token=3))
+        with pytest.raises(ValueError, match="two children"):
+            TreeNodeSpec(left=TreeNodeSpec(token=1))
+
+    def test_complete_tree_counts(self):
+        tree = TreeNodeSpec.complete(8)
+        assert tree.num_leaves() == 8
+        assert tree.num_nodes() == 15
+        assert tree.depth() == 4
+
+    def test_complete_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            TreeNodeSpec.complete(6)
+
+    def test_unfold_structure(self):
+        model = TreeLSTMModel()
+        graph = unfold(model, TreePayload(TreeNodeSpec.complete(4)))
+        assert graph.cell_type_census() == {"tree_leaf": 4, "tree_internal": 3}
+
+    def test_unfold_rejects_non_tree_payload(self):
+        with pytest.raises(TypeError):
+            unfold(TreeLSTMModel(), 5)
+
+    def test_padding_unsupported(self):
+        with pytest.raises(NotImplementedError, match="padding"):
+            TreeLSTMModel().phases(TreePayload(TreeNodeSpec.complete(2)))
+
+    def test_root_is_result(self):
+        model = TreeLSTMModel()
+        graph = unfold(model, TreePayload(TreeNodeSpec.complete(4)))
+        (result_ref,) = graph.result_refs
+        node_id, output = result_ref
+        assert output == "h"
+        assert list(graph.successors(node_id)) == []
+
+    def test_cell_type_by_name(self):
+        model = TreeLSTMModel()
+        assert model.cell_type_by_name("tree_leaf").name == "tree_leaf"
+        with pytest.raises(KeyError):
+            model.cell_type_by_name("nope")

@@ -1,0 +1,123 @@
+"""Tests for the offline profiler and the task-trace tooling."""
+
+import pytest
+
+from repro.cells.lstm import LSTMCell
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.core.profiler import (
+    ProfileResult,
+    profile_cell,
+    profile_cost_model,
+    recommend_config,
+)
+from repro.metrics.timeline import TaskTrace
+from repro.models import LSTMChainModel, Seq2SeqModel
+from repro.tensor.parameters import ParameterStore
+
+
+class TestProfileResult:
+    def test_best_batch_prefers_smallest_at_peak(self):
+        # Equal throughput at 4 and 8: pick 4 (less latency).
+        profile = ProfileResult("c", [(1, 1.0), (4, 2.0), (8, 4.0)])
+        assert profile.best_batch() == 4
+
+    def test_throughput_lookup(self):
+        profile = ProfileResult("c", [(2, 1.0)])
+        assert profile.throughput(2) == 2.0
+        with pytest.raises(KeyError):
+            profile.throughput(3)
+
+    def test_empty_profile_raises(self):
+        with pytest.raises(ValueError):
+            ProfileResult("c", [])
+
+
+class TestProfileCostModel:
+    def test_recovers_paper_batch_choices(self):
+        model = Seq2SeqModel()
+        profiles = profile_cost_model(
+            model.default_cost_model(), ["encoder", "decoder"]
+        )
+        assert profiles["encoder"].best_batch() == 512
+        assert profiles["decoder"].best_batch() == 256
+
+    def test_recommend_config_builds_per_cell_settings(self):
+        model = Seq2SeqModel()
+        profiles = profile_cost_model(
+            model.default_cost_model(), ["encoder", "decoder"]
+        )
+        config = recommend_config(profiles, priorities={"decoder": 1})
+        assert config.for_cell("encoder").max_batch == 512
+        assert config.for_cell("decoder").max_batch == 256
+        assert config.for_cell("decoder").priority == 1
+        assert config.max_tasks_to_submit == 5
+
+
+class TestProfileRealCell:
+    def test_profile_measures_real_cell(self):
+        cell = LSTMCell("p", 8, 8, ParameterStore(seed=0))
+        profile = profile_cell(cell, candidates=(1, 4), repeats=1)
+        assert len(profile.points) == 2
+        assert all(t > 0 for _, t in profile.points)
+
+    def test_unknown_shape_requires_input_maker(self):
+        from repro.cells.base import Cell
+
+        class ShapelessCell(Cell):
+            def __init__(self):
+                super().__init__("s", ("x",), ("y",))
+
+            def compute(self, inputs):
+                return {"y": inputs["x"]}
+
+            def num_operators(self):
+                return 1
+
+        with pytest.raises(ValueError, match="input_maker"):
+            profile_cell(ShapelessCell(), candidates=(1,), repeats=1)
+
+
+class TestTaskTrace:
+    def run_traced(self, num_gpus=1):
+        server = BatchMakerServer(
+            LSTMChainModel(),
+            config=BatchingConfig.with_max_batch(8),
+            num_gpus=num_gpus,
+        )
+        trace = TaskTrace.attach(server)
+        for i in range(6):
+            server.submit(5, arrival_time=i * 1e-4)
+        server.drain()
+        return server, trace
+
+    def test_records_every_task(self):
+        server, trace = self.run_traced()
+        assert len(trace.records) == server.tasks_submitted()
+        for record in trace.records:
+            assert record.end >= record.start
+            assert record.batch_size >= 1
+
+    def test_by_worker_grouping(self):
+        server, trace = self.run_traced(num_gpus=2)
+        grouped = trace.by_worker()
+        assert sum(len(v) for v in grouped.values()) == len(trace.records)
+        for records in grouped.values():
+            starts = [r.start for r in records]
+            assert starts == sorted(starts)
+
+    def test_batch_histogram_total(self):
+        server, trace = self.run_traced()
+        histogram = trace.batch_size_histogram()
+        assert sum(histogram.values()) == len(trace.records)
+
+    def test_gantt_renders_rows_and_legend(self):
+        server, trace = self.run_traced(num_gpus=2)
+        art = trace.render_gantt(width=60)
+        assert "gpu0 |" in art
+        assert "lstm" in art  # legend
+
+    def test_empty_trace(self):
+        trace = TaskTrace()
+        assert trace.render_gantt() == "(empty trace)"
+        with pytest.raises(ValueError):
+            trace.span()

@@ -1,0 +1,96 @@
+"""Tests for the experiment result store."""
+
+import pytest
+
+from repro.core.request import InferenceRequest
+from repro.experiments.store import ResultStore, StoredPoint
+from repro.metrics.latency import LatencyStats
+from repro.metrics.summary import RunSummary
+
+
+def summary(system, rate, throughput, latency_s=0.01):
+    request = InferenceRequest(0, None, 0.0)
+    request.mark_started(0.0)
+    request.mark_finished(latency_s)
+    stats = LatencyStats().extend([request])
+    return RunSummary(system, rate, throughput, stats)
+
+
+class TestStoredPoint:
+    def test_roundtrip(self):
+        point = StoredPoint.from_summary(summary("A", 100, 95))
+        again = StoredPoint.from_dict(point.to_dict())
+        assert again.system == "A"
+        assert again.throughput == 95
+
+
+class TestResultStore:
+    def make_store(self):
+        store = ResultStore()
+        store.put_sweep(
+            "fig7",
+            {
+                "BatchMaker": [summary("BatchMaker", 1000, 990)],
+                "MXNet": [summary("MXNet", 1000, 980, latency_s=0.05)],
+            },
+        )
+        return store
+
+    def test_put_and_get(self):
+        store = self.make_store()
+        sweep = store.sweep("fig7")
+        assert set(sweep) == {"BatchMaker", "MXNet"}
+        assert store.names() == ["fig7"]
+
+    def test_unknown_sweep_raises(self):
+        with pytest.raises(KeyError):
+            ResultStore().sweep("nope")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = self.make_store()
+        path = tmp_path / "results.json"
+        store.save(path)
+        loaded = ResultStore.load(path)
+        assert loaded.names() == store.names()
+        original = store.sweep("fig7")["BatchMaker"][0]
+        reloaded = loaded.sweep("fig7")["BatchMaker"][0]
+        assert reloaded.throughput == original.throughput
+        assert reloaded.p90_ms == original.p90_ms
+
+    def test_compare_identical_is_clean(self, tmp_path):
+        store = self.make_store()
+        path = tmp_path / "r.json"
+        store.save(path)
+        assert store.compare(ResultStore.load(path)) == []
+
+    def test_compare_flags_throughput_drift(self):
+        a = self.make_store()
+        b = ResultStore()
+        b.put_sweep(
+            "fig7",
+            {
+                "BatchMaker": [summary("BatchMaker", 1000, 500)],  # halved
+                "MXNet": [summary("MXNet", 1000, 980, latency_s=0.05)],
+            },
+        )
+        issues = a.compare(b)
+        assert any("throughput" in issue for issue in issues)
+
+    def test_compare_flags_missing_system(self):
+        a = self.make_store()
+        b = ResultStore()
+        b.put_sweep("fig7", {"BatchMaker": [summary("BatchMaker", 1000, 990)]})
+        issues = a.compare(b)
+        assert any("missing" in issue for issue in issues)
+
+    def test_compare_within_tolerance_is_clean(self):
+        a = self.make_store()
+        b = ResultStore()
+        b.put_sweep(
+            "fig7",
+            {
+                "BatchMaker": [summary("BatchMaker", 1000, 1050)],  # +6%
+                "MXNet": [summary("MXNet", 1000, 980, latency_s=0.05)],
+            },
+        )
+        assert a.compare(b, tolerance=0.10) == []

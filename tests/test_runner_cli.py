@@ -1,0 +1,43 @@
+"""Tests for the experiment-runner CLI."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestRunnerCLI:
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["nonexistent"])
+
+    def test_runs_named_experiment(self, capsys):
+        assert runner.main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5" in out
+        assert "req1(2)" in out
+        assert "[fig5 done" in out
+
+    def test_fig10_quick(self, capsys):
+        assert runner.main(["fig10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "sequence-length CDF" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert runner.main(["fig5", "fig10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "######## fig5 ########" in out
+        assert "######## fig10 ########" in out
+
+    def test_all_expands_to_every_experiment(self):
+        # Only check expansion logic, not execution: 'all' must cover the
+        # registry exactly (execution of 'all' is the benchmark suite's job).
+        assert set(runner.EXPERIMENTS) == {
+            "fig3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig13", "fig14", "fig15", "ablations", "summary",
+        }
+
+    def test_fig3_quick(self, capsys):
+        assert runner.main(["fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "single LSTM step" in out
+        assert "throughput-optimal batch: 512" in out

@@ -1,0 +1,146 @@
+"""Tests for the deterministic event loop."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+
+
+class TestScheduling:
+    def test_call_at_runs_at_the_right_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(2.0, lambda: seen.append(loop.now()))
+        loop.run()
+        assert seen == [2.0]
+
+    def test_call_after_is_relative(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.0, lambda: loop.call_after(0.5, lambda: seen.append(loop.now())))
+        loop.run()
+        assert seen == [1.5]
+
+    def test_call_soon_runs_at_current_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.0, lambda: loop.call_soon(lambda: seen.append(loop.now())))
+        loop.run()
+        assert seen == [1.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError, match="past"):
+            loop.call_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EventLoop().call_after(-1.0, lambda: None)
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(3.0, lambda: seen.append(3))
+        loop.call_at(1.0, lambda: seen.append(1))
+        loop.call_at(2.0, lambda: seen.append(2))
+        loop.run()
+        assert seen == [1, 2, 3]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        loop = EventLoop()
+        seen = []
+        for i in range(10):
+            loop.call_at(1.0, lambda i=i: seen.append(i))
+        loop.run()
+        assert seen == list(range(10))
+
+    def test_nested_same_time_events_run_after_earlier_ones(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.0, lambda: (seen.append("a"), loop.call_soon(lambda: seen.append("c"))))
+        loop.call_at(1.0, lambda: seen.append("b"))
+        loop.run()
+        assert seen == ["a", "b", "c"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        seen = []
+        event = loop.call_at(1.0, lambda: seen.append("x"))
+        event.cancel()
+        loop.run()
+        assert seen == []
+
+    def test_pending_ignores_cancelled(self):
+        loop = EventLoop()
+        keep = loop.call_at(1.0, lambda: None)
+        drop = loop.call_at(2.0, lambda: None)
+        drop.cancel()
+        assert loop.pending() == 1
+
+    def test_peek_time_skips_cancelled(self):
+        loop = EventLoop()
+        first = loop.call_at(1.0, lambda: None)
+        loop.call_at(2.0, lambda: None)
+        first.cancel()
+        assert loop.peek_time() == 2.0
+
+
+class TestRun:
+    def test_run_returns_number_of_events(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.call_at(float(i), lambda: None)
+        assert loop.run() == 5
+
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.0, lambda: seen.append(1))
+        loop.call_at(5.0, lambda: seen.append(5))
+        loop.run(until=3.0)
+        assert seen == [1]
+        assert loop.now() == 3.0
+        assert loop.pending() == 1
+
+    def test_run_until_advances_clock_even_with_no_events(self):
+        loop = EventLoop()
+        loop.run(until=7.0)
+        assert loop.now() == 7.0
+
+    def test_run_max_events(self):
+        loop = EventLoop()
+        seen = []
+        for i in range(5):
+            loop.call_at(float(i), lambda i=i: seen.append(i))
+        loop.run(max_events=2)
+        assert seen == [0, 1]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert EventLoop().step() is False
+
+    def test_reentrant_run_raises(self):
+        loop = EventLoop()
+        def reenter():
+            loop.run()
+        loop.call_at(1.0, reenter)
+        with pytest.raises(RuntimeError, match="already running"):
+            loop.run()
+
+    def test_events_scheduled_during_run_execute(self):
+        loop = EventLoop()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 4:
+                loop.call_after(1.0, lambda: chain(n + 1))
+
+        loop.call_at(0.0, lambda: chain(0))
+        loop.run()
+        assert seen == [0, 1, 2, 3, 4]
+        assert loop.now() == 4.0

@@ -1,0 +1,96 @@
+"""Tests for the dataflow-graph cell-definition substrate."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.graph import DataflowGraph
+from repro.tensor.parameters import ParameterStore
+
+
+def simple_graph():
+    """y = sigmoid(x @ W + b)"""
+    g = DataflowGraph("dense")
+    g.placeholder("x")
+    g.parameter("W")
+    g.parameter("b")
+    g.op("xw", "matmul", "x", "W")
+    g.op("z", "add", "xw", "b")
+    g.op("y", "sigmoid", "z")
+    g.output("y")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_name_raises(self):
+        g = DataflowGraph("g")
+        g.placeholder("x")
+        with pytest.raises(ValueError, match="already defined"):
+            g.op("x", "sigmoid", "x")
+
+    def test_unknown_operator_raises(self):
+        g = DataflowGraph("g")
+        g.placeholder("x")
+        with pytest.raises(ValueError, match="unknown operator"):
+            g.op("y", "frobnicate", "x")
+
+    def test_duplicate_output_raises(self):
+        g = simple_graph()
+        with pytest.raises(ValueError, match="already an output"):
+            g.output("y")
+
+    def test_num_operators(self):
+        assert simple_graph().num_operators() == 3
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self):
+        g = simple_graph()
+        order = [spec.name for spec in g.topological_order()]
+        assert order.index("xw") < order.index("z") < order.index("y")
+
+    def test_dangling_reference_raises(self):
+        g = DataflowGraph("g")
+        g.placeholder("x")
+        g.op("y", "sigmoid", "nowhere")
+        with pytest.raises(ValueError, match="undefined value"):
+            g.topological_order()
+
+
+class TestExecution:
+    def test_run_computes_expected_value(self):
+        g = simple_graph()
+        x = np.array([[1.0, 2.0]])
+        W = np.array([[1.0], [1.0]])
+        b = np.array([0.0])
+        out = g.run({"x": x}, {"W": W, "b": b})
+        expected = 1.0 / (1.0 + np.exp(-3.0))
+        assert out["y"][0, 0] == pytest.approx(expected)
+
+    def test_missing_input_raises(self):
+        g = simple_graph()
+        with pytest.raises(KeyError, match="missing graph inputs"):
+            g.run({}, {"W": np.zeros((2, 1)), "b": np.zeros(1)})
+
+    def test_missing_parameter_raises(self):
+        g = simple_graph()
+        with pytest.raises(KeyError, match="missing parameter"):
+            g.run({"x": np.zeros((1, 2))}, {"W": np.zeros((2, 1))})
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_semantics(self):
+        g = simple_graph()
+        g2 = DataflowGraph.from_json(g.to_json())
+        x = np.array([[0.5, -0.5]])
+        params = {"W": np.eye(2)[:, :1], "b": np.array([0.1])}
+        np.testing.assert_allclose(
+            g.run({"x": x}, params)["y"], g2.run({"x": x}, params)["y"]
+        )
+
+    def test_roundtrip_preserves_structure(self):
+        g = simple_graph()
+        g2 = DataflowGraph.from_json(g.to_json())
+        assert g2.placeholders == g.placeholders
+        assert g2.param_names == g.param_names
+        assert g2.outputs == g.outputs
+        assert g2.num_operators() == g.num_operators()
