@@ -1,6 +1,6 @@
 """Advanced decoding on cellular batching: beam search and attention.
 
-Two extensions beyond the paper (DESIGN.md §7), both served through the
+Two extensions beyond the paper (DESIGN.md §8), both served through the
 unmodified scheduler in real-compute mode:
 
 * **beam search** — each decode step runs k decoder cells plus a batchable

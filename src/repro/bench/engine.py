@@ -1,0 +1,295 @@
+"""Benchmark harness for the scheduling/simulation engine.
+
+Two measurements:
+
+* **Scheduler decisions/sec** at fixed queue depths, fast path vs the
+  retained brute-force reference (``BatchingConfig(fast_path=False)``).
+  The queue is populated the way a loaded multi-GPU server's queues look
+  in the paper's Figure 7/13 regime: thousands of released chain
+  subgraphs, most of them pinned to *other* workers, so the brute-force
+  ``FormBatchedTask`` scan walks past them on every decision and the
+  tier-selection recounts every subgraph's ready nodes.
+
+* **Quick Fig-7 sweep wall-clock**, serial vs ``--jobs``-parallel, with an
+  identical-summaries cross-check (the parallel runner must change nothing
+  but the wall-clock).
+
+Results are written to ``BENCH_engine.json`` (repo root) so future PRs can
+compare; ``--check`` fails when decisions/sec regress by more than 2x
+against a committed baseline file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+BENCH_SCHEMA = 1
+DEFAULT_DEPTHS = (250, 1000, 4000)
+SMOKE_DEPTHS = (250, 1000)
+# Pinned-elsewhere fraction / worker count for the loaded-queue shape.
+BENCH_WORKERS = 8
+CHAIN_LENGTH = 32
+REGRESSION_FACTOR = 2.0
+
+
+class _BenchWorker:
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+
+
+def _build_loaded_scheduler(fast_path: bool, depth: int):
+    """A scheduler whose single queue holds ``depth`` chain subgraphs, 7/8
+    of them pinned to workers other than the one we schedule for."""
+    from repro.core.cell_graph import CellGraph
+    from repro.core.config import BatchingConfig
+    from repro.core.request import InferenceRequest
+    from repro.core.scheduler import Scheduler
+    from repro.core.subgraph import partition_into_subgraphs
+    from repro.models import LSTMChainModel
+
+    model = LSTMChainModel()
+    # max_batch 4 / one task per round isolates the per-decision scheduling
+    # cost (the quantity under test) from the per-node commit cost that the
+    # fast and brute-force paths share.
+    config = BatchingConfig.with_max_batch(
+        4, max_tasks_to_submit=1, fast_path=fast_path
+    )
+    scheduler = Scheduler(config, submit=lambda task, worker: None)
+    for cell_type in model.cell_types():
+        scheduler.register_cell_type(cell_type)
+    for rid in range(depth):
+        graph = CellGraph()
+        model.unfold(graph, CHAIN_LENGTH)
+        request = InferenceRequest(rid, CHAIN_LENGTH, 0.0)
+        request.graph = graph
+        subgraphs = partition_into_subgraphs(graph, request, start_id=rid)
+        request.subgraphs = {sg.subgraph_id: sg for sg in subgraphs}
+        for sg in subgraphs:
+            scheduler.add_subgraph(sg)
+            # Interleave pinned-elsewhere subgraphs with worker-0-eligible
+            # ones so eligibility is scattered through the FIFO.
+            if rid % BENCH_WORKERS != 0:
+                sg.pin(1 + rid % (BENCH_WORKERS - 1))
+    return scheduler
+
+
+def _time_decisions(scheduler, max_seconds: float, max_decisions: int) -> Dict:
+    worker = _BenchWorker(0)
+    decisions = 0
+    start = time.perf_counter()
+    while decisions < max_decisions:
+        if scheduler.schedule(worker) == 0:
+            break  # worker-0-eligible work drained
+        decisions += 1
+        if time.perf_counter() - start >= max_seconds:
+            break
+    elapsed = time.perf_counter() - start
+    return {
+        "decisions": decisions,
+        "seconds": elapsed,
+        "decisions_per_sec": decisions / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def bench_scheduler(
+    depths=DEFAULT_DEPTHS, max_seconds: float = 2.0, max_decisions: int = 2000
+) -> Dict[str, Dict]:
+    """Decisions/sec, fast path vs brute-force reference, per queue depth."""
+    results: Dict[str, Dict] = {}
+    for depth in depths:
+        fast = _time_decisions(
+            _build_loaded_scheduler(True, depth), max_seconds, max_decisions
+        )
+        brute = _time_decisions(
+            _build_loaded_scheduler(False, depth), max_seconds, max_decisions
+        )
+        speedup = (
+            fast["decisions_per_sec"] / brute["decisions_per_sec"]
+            if brute["decisions_per_sec"]
+            else float("inf")
+        )
+        results[f"depth_{depth}"] = {
+            "queue_depth": depth,
+            "fast": fast,
+            "brute_force": brute,
+            "speedup": speedup,
+        }
+    return results
+
+
+def bench_fig7_quick(jobs: int = 2) -> Dict:
+    """Wall-clock of the quick Fig-7 LSTM sweep, serial vs parallel, plus
+    an identical-results cross-check."""
+    from repro.experiments import common, fig7_lstm
+
+    start = time.perf_counter()
+    serial = fig7_lstm.run(quick=True, max_batch=512, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    parallel_supported = common.parallel_sweep_supported()
+    if parallel_supported:
+        start = time.perf_counter()
+        parallel = fig7_lstm.run(quick=True, max_batch=512, jobs=jobs)
+        parallel_s = time.perf_counter() - start
+        identical = _summaries_identical(serial, parallel)
+    else:
+        parallel_s = None
+        identical = None
+
+    return {
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "parallel_supported": parallel_supported,
+        "identical_summaries": identical,
+        "note": (
+            "parallel speedup scales with min(jobs, cores); on a single-core "
+            "host the parallel run only checks result identity"
+        ),
+    }
+
+
+def _summaries_identical(a: Dict[str, List], b: Dict[str, List]) -> bool:
+    def key(summary):
+        return (
+            summary.system,
+            summary.offered_rate,
+            summary.throughput,
+            summary.p50_ms,
+            summary.p90_ms,
+            summary.p99_ms,
+            tuple(summary.stats.latencies),
+        )
+
+    if a.keys() != b.keys():
+        return False
+    return all(
+        [key(s) for s in a[system]] == [key(s) for s in b[system]]
+        for system in a
+    )
+
+
+def run_engine_bench(smoke: bool = False, jobs: int = 2) -> Dict:
+    depths = SMOKE_DEPTHS if smoke else DEFAULT_DEPTHS
+    max_decisions = 500 if smoke else 2000
+    bench = {
+        "schema": BENCH_SCHEMA,
+        "mode": "smoke" if smoke else "full",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "scheduler": bench_scheduler(depths, max_decisions=max_decisions),
+    }
+    if not smoke:
+        bench["fig7_quick"] = bench_fig7_quick(jobs=jobs)
+    return bench
+
+
+def check_regression(current: Dict, baseline_path: str) -> List[str]:
+    """Compare current fast-path decisions/sec against a committed baseline;
+    returns a list of failure messages (empty = ok).  Only a >2x slowdown
+    fails: absolute numbers vary across machines, an order-of-magnitude
+    cliff means the O(1) path broke."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for name, entry in baseline.get("scheduler", {}).items():
+        if name not in current["scheduler"]:
+            continue
+        base_rate = entry["fast"]["decisions_per_sec"]
+        cur_rate = current["scheduler"][name]["fast"]["decisions_per_sec"]
+        if base_rate > 0 and cur_rate < base_rate / REGRESSION_FACTOR:
+            failures.append(
+                f"{name}: fast path {cur_rate:,.0f} decisions/s is more than "
+                f"{REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
+            )
+    return failures
+
+
+def _print_report(bench: Dict) -> None:
+    print("== engine benchmark ==")
+    for name, entry in bench["scheduler"].items():
+        print(
+            f"{name}: fast {entry['fast']['decisions_per_sec']:,.0f} dec/s, "
+            f"brute {entry['brute_force']['decisions_per_sec']:,.0f} dec/s, "
+            f"speedup {entry['speedup']:.1f}x"
+        )
+    fig7 = bench.get("fig7_quick")
+    if fig7:
+        par = (
+            f"{fig7['parallel_seconds']:.1f}s with --jobs {fig7['jobs']}"
+            if fig7["parallel_seconds"] is not None
+            else "n/a (no fork)"
+        )
+        print(
+            f"fig7 quick sweep: serial {fig7['serial_seconds']:.1f}s, "
+            f"parallel {par}, identical summaries: "
+            f"{fig7['identical_summaries']} ({fig7['cpu_count']} cpu)"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the scheduling engine and experiment runner."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: fewer depths/decisions, skip the fig7 sweep",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="pool size for the parallel fig7 timing"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write results JSON here (default: BENCH_engine.json in cwd; "
+        "pass --no-write via --out '' to skip)",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed BENCH_engine.json; exit 1 on a "
+        f">{REGRESSION_FACTOR}x decisions/sec regression",
+    )
+    args = parser.parse_args(argv)
+
+    bench = run_engine_bench(smoke=args.smoke, jobs=args.jobs)
+    _print_report(bench)
+
+    failures: List[str] = []
+    if args.check:
+        try:
+            failures = check_regression(bench, args.check)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.check}: {exc}", file=sys.stderr)
+            return 2
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if not failures:
+            print(f"[no regression vs {args.check}]")
+
+    out = args.out
+    if out is None:
+        out = "BENCH_engine.json"
+    if out:
+        with open(out, "w") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[wrote {out}]")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,11 @@ class BatchingConfig:
     successive tasks of one subgraph may land on different workers and pay
     the cross-device copy cost (and are serialised by explicit dependency
     rather than stream FIFO order).
+
+    ``fast_path`` selects the scheduler's O(1) incremental ready-node
+    accounting (the default).  Setting it False falls back to the retained
+    brute-force queue scans — same decisions, asymptotically slower — used
+    by the equivalence test and as the benchmark baseline.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class BatchingConfig:
         per_cell: Optional[Dict[str, CellTypeConfig]] = None,
         max_tasks_to_submit: int = 5,
         pinning: bool = True,
+        fast_path: bool = True,
     ):
         if max_tasks_to_submit < 1:
             raise ValueError("max_tasks_to_submit must be >= 1")
@@ -87,6 +93,7 @@ class BatchingConfig:
         self.per_cell: Dict[str, CellTypeConfig] = dict(per_cell or {})
         self.max_tasks_to_submit = max_tasks_to_submit
         self.pinning = pinning
+        self.fast_path = fast_path
 
     @classmethod
     def with_max_batch(
@@ -96,6 +103,7 @@ class BatchingConfig:
         per_cell_priority: Optional[Dict[str, int]] = None,
         max_tasks_to_submit: int = 5,
         pinning: bool = True,
+        fast_path: bool = True,
     ) -> "BatchingConfig":
         """Convenience constructor: power-of-two Bsizes up to ``max_batch``.
 
@@ -114,6 +122,7 @@ class BatchingConfig:
             per_cell=per_cell,
             max_tasks_to_submit=max_tasks_to_submit,
             pinning=pinning,
+            fast_path=fast_path,
         )
 
     def for_cell(self, cell_name: str) -> CellTypeConfig:

@@ -6,11 +6,30 @@ criterion, then ``_batch`` forms and submits up to ``MaxTasksToSubmit``
 batched tasks to that worker, pinning the touched subgraphs so that
 dependent follow-up tasks stay on the same device (whose FIFO stream order
 then satisfies their dependencies without waiting for completions).
+
+Hot-path complexity
+-------------------
+The scheduling decision itself must be cheap relative to a kernel launch
+(the whole point of fine-grained batching), so the queue keeps its state
+incrementally instead of rescanning:
+
+* ``num_ready_nodes()`` is a counter read.  Subgraphs report ready-count
+  deltas to their owning queue (``on_ready_delta``) whenever nodes are
+  taken, submitted, or completed.
+* ``_form_batched_task`` walks *eligible* subgraphs only — those with ready
+  nodes that are unpinned or pinned to the requesting worker — via lazily
+  maintained min-heaps keyed by arrival order, so the scan order is
+  bit-identical to the original full-queue FIFO scan.
+
+The original O(queue) scans are retained as the brute-force reference
+(``BatchingConfig(fast_path=False)``); the equivalence test in
+``tests/test_scheduler_equivalence.py`` holds the two bit-identical.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import heapq
+from collections import Counter, OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.cell import CellType
@@ -20,19 +39,132 @@ from repro.core.task import BatchedTask
 
 
 class CellTypeQueue:
-    """Scheduler state for one cell type."""
+    """Scheduler state for one cell type.
 
-    def __init__(self, cell_type: CellType, config: CellTypeConfig):
+    ``subgraphs`` is the authoritative FIFO (insertion-ordered) of queued
+    subgraphs.  On top of it the queue maintains:
+
+    * ``_ready_total`` — sum of ``ready_count()`` over queued subgraphs,
+      updated by deltas from :meth:`on_ready_delta`.
+    * ``_heaps`` — one lazy min-heap of ``(queue_seq, subgraph)`` entries
+      per *bucket* (``None`` for unpinned, a worker id for pinned), holding
+      every subgraph that may have ready nodes in that bucket.  Entries are
+      never deleted eagerly; staleness is detected when popped by checking
+      the subgraph's live state.  ``_heap_entries`` counts how many entries
+      each subgraph currently has in each bucket's heap so that state
+      transitions never push duplicates.
+    """
+
+    def __init__(
+        self, cell_type: CellType, config: CellTypeConfig, fast_path: bool = True
+    ):
         self.cell_type = cell_type
         self.config = config
+        self.fast_path = fast_path
         self.subgraphs: "OrderedDict[int, Subgraph]" = OrderedDict()
         self.running_tasks = 0
+        self._ready_total = 0
+        self._next_seq = 0
+        self._heaps: Dict[Optional[int], List[Tuple[int, Subgraph]]] = {}
+        self._heap_entries: Dict[Tuple[int, Optional[int]], int] = {}
+
+    # -- ready-node accounting ---------------------------------------------
 
     def num_ready_nodes(self) -> int:
+        if self.fast_path:
+            return self._ready_total
+        return self.recount_ready_nodes()
+
+    def recount_ready_nodes(self) -> int:
+        """Brute-force reference: full rescan of the queue."""
         return sum(sg.ready_count() for sg in self.subgraphs.values())
 
     def add(self, sg: Subgraph) -> None:
+        sg.owner = self
+        sg.queue_seq = self._next_seq
+        self._next_seq += 1
         self.subgraphs[sg.subgraph_id] = sg
+        self._ready_total += sg.ready_count()
+        if sg.ready_count() > 0:
+            self._register(sg)
+
+    def remove(self, sg: Subgraph) -> None:
+        """Drop an exhausted subgraph (no nodes left to submit)."""
+        self.subgraphs.pop(sg.subgraph_id, None)
+        self._ready_total -= sg.ready_count()
+        sg.owner = None
+
+    # -- notifications from Subgraph -----------------------------------------
+
+    def on_ready_delta(self, sg: Subgraph, delta: int) -> None:
+        """``sg``'s ready count changed by ``delta`` while queued here."""
+        self._ready_total += delta
+        if delta > 0 and sg.ready_count() > 0:
+            self._register(sg)
+        # delta < 0 (or ready now 0): the heap entry goes stale and is
+        # discarded lazily when popped.
+
+    def on_pin_changed(self, sg: Subgraph) -> None:
+        """``sg`` was pinned or unpinned: its eligibility bucket moved."""
+        if sg.ready_count() > 0:
+            self._register(sg)
+        # The entry under the previous bucket is now stale; lazy cleanup.
+
+    def _register(self, sg: Subgraph) -> None:
+        """Ensure ``sg`` has an entry in its current bucket's heap."""
+        bucket = sg.pinned
+        key = (sg.subgraph_id, bucket)
+        if self._heap_entries.get(key, 0) == 0:
+            heapq.heappush(
+                self._heaps.setdefault(bucket, []), (sg.queue_seq, sg)
+            )
+            self._heap_entries[key] = 1
+
+    def _pop_entry(self, bucket: Optional[int]) -> Optional[Subgraph]:
+        """Pop the heap entry for ``bucket``; caller validates liveness."""
+        heap = self._heaps.get(bucket)
+        if not heap:
+            return None
+        _, sg = heapq.heappop(heap)
+        key = (sg.subgraph_id, bucket)
+        count = self._heap_entries.get(key, 0) - 1
+        if count > 0:
+            self._heap_entries[key] = count
+        else:
+            self._heap_entries.pop(key, None)
+        return sg
+
+    def _entry_live(self, sg: Subgraph, bucket: Optional[int]) -> bool:
+        return (
+            sg.owner is self
+            and sg.ready_count() > 0
+            and sg.pinned == bucket
+        )
+
+    def pop_eligible(self, worker_id: int) -> Optional[Subgraph]:
+        """Pop the first subgraph (by arrival order) with ready nodes that
+        ``worker_id`` may execute: unpinned, or pinned to that worker.
+        Stale heap entries encountered along the way are discarded."""
+        while True:
+            unpinned = self._heaps.get(None)
+            pinned = self._heaps.get(worker_id)
+            have_u = bool(unpinned)
+            have_p = bool(pinned)
+            if not have_u and not have_p:
+                return None
+            if have_u and (not have_p or unpinned[0][0] < pinned[0][0]):
+                bucket = None
+            else:
+                bucket = worker_id
+            sg = self._pop_entry(bucket)
+            if sg is not None and self._entry_live(sg, bucket):
+                return sg
+
+    def reinsert(self, sg: Subgraph) -> None:
+        """Put a popped-but-still-eligible subgraph back in its bucket's
+        heap (its ``queue_seq`` restores the original FIFO position)."""
+        if sg.owner is self and sg.ready_count() > 0:
+            self._register(sg)
 
     def __repr__(self) -> str:
         return (
@@ -50,13 +182,15 @@ class Scheduler:
         submit: Callable[[BatchedTask, "object"], None],
     ):
         self.config = config
+        self.fast_path = getattr(config, "fast_path", True)
         self._submit = submit
         self._queues: Dict[str, CellTypeQueue] = {}
+        self._queue_list: Tuple[CellTypeQueue, ...] = ()
         self._next_task_id = 0
         self.tasks_submitted = 0
         # Histogram of submitted batch sizes, for the evaluation's
         # "effective batch size" analysis.
-        self.batch_size_counts: Dict[int, int] = {}
+        self.batch_size_counts: Counter = Counter()
 
     # -- registration -------------------------------------------------------
 
@@ -64,8 +198,11 @@ class Scheduler:
         if cell_type.name in self._queues:
             raise ValueError(f"cell type {cell_type.name!r} registered twice")
         self._queues[cell_type.name] = CellTypeQueue(
-            cell_type, self.config.for_cell(cell_type.name)
+            cell_type,
+            self.config.for_cell(cell_type.name),
+            fast_path=self.fast_path,
         )
+        self._queue_list = tuple(self._queues.values())
 
     def add_subgraph(self, sg: Subgraph) -> None:
         """Accept a released subgraph into its cell type's queue."""
@@ -87,7 +224,7 @@ class Scheduler:
         nodes.  Ties break by priority, then by name for determinism.
         Returns the number of tasks submitted.
         """
-        queues = list(self._queues.values())
+        queues = self._queue_list
         candidates = [
             q for q in queues if q.num_ready_nodes() >= q.config.max_batch
         ]
@@ -125,8 +262,32 @@ class Scheduler:
         self, queue: CellTypeQueue, worker
     ) -> List[Tuple[Subgraph, int]]:
         """Algorithm 1's ``FormBatchedTask``: plan (without committing) how
-        many ready nodes to take from each eligible subgraph, scanning the
-        queue in FIFO order until the maximum batch size is reached."""
+        many ready nodes to take from each eligible subgraph, scanning in
+        FIFO order until the maximum batch size is reached."""
+        if not self.fast_path:
+            return self._form_batched_task_reference(queue, worker)
+        plan: List[Tuple[Subgraph, int]] = []
+        budget = queue.config.max_batch
+        while budget > 0:
+            sg = queue.pop_eligible(worker.worker_id)
+            if sg is None:
+                break
+            take = min(sg.ready_count(), budget)
+            plan.append((sg, take))
+            budget -= take
+        # Planning must not mutate queue state (the caller may decline the
+        # plan under the min-batch rule), so restore every popped entry;
+        # ``queue_seq`` keys keep the FIFO order intact.
+        for sg, _ in plan:
+            queue.reinsert(sg)
+        return plan
+
+    def _form_batched_task_reference(
+        self, queue: CellTypeQueue, worker
+    ) -> List[Tuple[Subgraph, int]]:
+        """Brute-force reference: full FIFO scan past ineligible subgraphs
+        (the pre-optimisation implementation, kept for the equivalence test
+        and as the benchmark baseline)."""
         plan: List[Tuple[Subgraph, int]] = []
         budget = queue.config.max_batch
         for sg in queue.subgraphs.values():
@@ -164,13 +325,12 @@ class Scheduler:
                 sg.inflight += 1
             sg.mark_submitted(node_ids)
             if sg.exhausted():
-                queue.subgraphs.pop(sg.subgraph_id, None)
+                queue.remove(sg)
         task = BatchedTask(self._next_task_id, queue.cell_type, entries)
         self._next_task_id += 1
         queue.running_tasks += 1
         self.tasks_submitted += 1
-        size = task.batch_size
-        self.batch_size_counts[size] = self.batch_size_counts.get(size, 0) + 1
+        self.batch_size_counts[task.batch_size] += 1
         self._submit(task, worker)
 
     # -- completion ---------------------------------------------------------
@@ -186,7 +346,7 @@ class Scheduler:
     # -- introspection --------------------------------------------------------
 
     def total_ready_nodes(self) -> int:
-        return sum(q.num_ready_nodes() for q in self._queues.values())
+        return sum(q.num_ready_nodes() for q in self._queue_list)
 
     def queue_for(self, cell_name: str) -> CellTypeQueue:
         return self._queues[cell_name]

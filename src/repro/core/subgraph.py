@@ -68,6 +68,13 @@ class Subgraph:
         self.pinned: Optional[int] = None
         self.inflight = 0
         self.released = False
+        # Owning CellTypeQueue while enqueued: receives incremental
+        # ready-count deltas and pin transitions so the scheduler never has
+        # to rescan the queue (see scheduler.CellTypeQueue).  The queue sets
+        # both fields in ``add`` and clears the owner when the subgraph is
+        # dropped (exhausted).
+        self.owner = None
+        self.queue_seq: int = -1
         # Optimistic readiness (advance internal deps at submission, relying
         # on same-worker FIFO order).  The scheduler flips this off when
         # pinning is disabled, in which case internal deps advance only on
@@ -104,6 +111,8 @@ class Subgraph:
         if limit <= 0:
             return []
         taken, self.ready = self.ready[:limit], self.ready[limit:]
+        if taken and self.owner is not None:
+            self.owner.on_ready_delta(self, -len(taken))
         return taken
 
     def mark_submitted(self, node_ids: Sequence[int]) -> int:
@@ -118,6 +127,8 @@ class Subgraph:
                 newly_ready += self._advance_internal(nid)
         if self.unsubmitted < 0:
             raise RuntimeError(f"subgraph {self.subgraph_id}: oversubmitted")
+        if newly_ready and self.owner is not None:
+            self.owner.on_ready_delta(self, newly_ready)
         return newly_ready
 
     def mark_completed_internal(self, node_ids: Sequence[int]) -> int:
@@ -130,6 +141,8 @@ class Subgraph:
         newly_ready = 0
         for nid in node_ids:
             newly_ready += self._advance_internal(nid)
+        if newly_ready and self.owner is not None:
+            self.owner.on_ready_delta(self, newly_ready)
         return newly_ready
 
     def _advance_internal(self, nid: int) -> int:
@@ -153,8 +166,11 @@ class Subgraph:
                 f"subgraph {self.subgraph_id} already pinned to worker "
                 f"{self.pinned}, cannot pin to {worker_id}"
             )
+        newly_pinned = self.pinned is None
         self.pinned = worker_id
         self.inflight += 1
+        if newly_pinned and self.owner is not None:
+            self.owner.on_pin_changed(self)
 
     def task_done(self, completed_nodes: int) -> None:
         """A task containing this subgraph's nodes retired; unpin at zero."""
@@ -162,8 +178,10 @@ class Subgraph:
         self.inflight -= 1
         if self.inflight < 0 or self.uncompleted < 0:
             raise RuntimeError(f"subgraph {self.subgraph_id}: completion underflow")
-        if self.inflight == 0:
+        if self.inflight == 0 and self.pinned is not None:
             self.pinned = None
+            if self.owner is not None:
+                self.owner.on_pin_changed(self)
 
     def __repr__(self) -> str:
         return (

@@ -152,7 +152,8 @@ def run(quick: bool = False) -> Dict[str, List[Dict]]:
     }
 
 
-def main(quick: bool = False) -> Dict:
+def main(quick: bool = False, jobs: int = 1) -> Dict:
+    del jobs  # ablation points vary config, not rate; kept serial
     results = run(quick=quick)
     print("\n== Ablation: MaxTasksToSubmit (LSTM @5K req/s) ==")
     print(

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import multiprocessing
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import FoldServer, PaddedServer
 from repro.core import BatchMakerServer, BatchingConfig
@@ -110,22 +111,61 @@ def run_point(
     return result.summary
 
 
+# Sweep context for worker processes.  Load points are independent fresh-
+# server simulations, so the pool fans them out; the factories are often
+# lambdas (unpicklable), so they travel to the children via fork inheritance
+# of this module-level slot rather than through pickled task arguments.
+_SWEEP_CONTEXT: Optional[Tuple[Callable, Callable, int]] = None
+
+
+def _sweep_point(point: Tuple[float, int]) -> RunSummary:
+    """Run one load point of the sweep described by ``_SWEEP_CONTEXT``."""
+    rate, num_requests = point
+    server_factory, dataset_factory, seed = _SWEEP_CONTEXT
+    return run_point(
+        server_factory(), dataset_factory, rate, num_requests, seed=seed
+    )
+
+
+def parallel_sweep_supported() -> bool:
+    """Lambdas reach the children only by fork inheritance, so parallel
+    sweeps need the fork start method (POSIX default); elsewhere ``sweep``
+    silently falls back to the serial loop."""
+    return multiprocessing.get_start_method(allow_none=False) == "fork"
+
+
 def sweep(
     server_factory: Callable[[], InferenceServer],
     dataset_factory: Callable[[], Any],
     rates: Sequence[float],
     num_requests_for: Callable[[float], int],
     seed: int = 7,
+    jobs: int = 1,
 ) -> List[RunSummary]:
-    """A throughput-latency curve: one fresh server per load point."""
+    """A throughput-latency curve: one fresh server per load point.
+
+    With ``jobs > 1`` the points run on a ``multiprocessing`` pool (each
+    point is an independent deterministic simulation); results keep the
+    ``rates`` order, so a parallel sweep returns exactly what the serial
+    loop would.
+    """
+    global _SWEEP_CONTEXT
+    points = [(rate, num_requests_for(rate)) for rate in rates]
+    if jobs > 1 and len(points) > 1 and parallel_sweep_supported():
+        _SWEEP_CONTEXT = (server_factory, dataset_factory, seed)
+        try:
+            with multiprocessing.Pool(min(jobs, len(points))) as pool:
+                return pool.map(_sweep_point, points, chunksize=1)
+        finally:
+            _SWEEP_CONTEXT = None
     summaries = []
-    for rate in rates:
+    for rate, num_requests in points:
         summaries.append(
             run_point(
                 server_factory(),
                 dataset_factory,
                 rate,
-                num_requests_for(rate),
+                num_requests,
                 seed=seed,
             )
         )

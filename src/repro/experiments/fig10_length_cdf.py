@@ -30,7 +30,8 @@ def run(quick: bool = False) -> Dict:
     }
 
 
-def main(quick: bool = False) -> Dict:
+def main(quick: bool = False, jobs: int = 1) -> Dict:
+    del jobs  # dataset CDF only; no simulation sweep
     result = run(quick=quick)
     print("\n== Fig 10: sequence-length CDF (synthetic WMT-15 Europarl) ==")
     rows = [[str(c), f"{result['cdf'][c] * 100:.1f}%"] for c in CHECKPOINTS]

@@ -28,7 +28,7 @@ DATASETS = {
 }
 
 
-def run(quick: bool = False) -> Dict[str, Dict[str, List]]:
+def run(quick: bool = False, jobs: int = 1) -> Dict[str, Dict[str, List]]:
     rates = QUICK_RATES if quick else FULL_RATES
     count = common.default_request_count(quick)
     results = {}
@@ -40,26 +40,28 @@ def run(quick: bool = False) -> Dict[str, Dict[str, List]]:
         width = 1 if label == "fixed length 24" else 10
         results[label] = {
             "BatchMaker": common.sweep(
-                common.lstm_batchmaker, dataset, rates, count
+                common.lstm_batchmaker, dataset, rates, count, jobs=jobs
             ),
             "MXNet": common.sweep(
                 lambda w=width: common.lstm_padded("MXNet", bucket_width=w),
                 dataset,
                 rates,
                 count,
+                jobs=jobs,
             ),
             "TensorFlow": common.sweep(
                 lambda w=width: common.lstm_padded("TensorFlow", bucket_width=w),
                 dataset,
                 rates,
                 count,
+                jobs=jobs,
             ),
         }
     return results
 
 
-def main(quick: bool = False) -> Dict:
-    results = run(quick=quick)
+def main(quick: bool = False, jobs: int = 1) -> Dict:
+    results = run(quick=quick, jobs=jobs)
     for label, by_system in results.items():
         common.print_sweep(f"Fig 11: {label}", by_system)
         bm = common.peak_throughput(by_system["BatchMaker"])

@@ -21,7 +21,7 @@ QUICK_RATES_2GPU: Sequence[float] = (2000, 6000, 10000)
 QUICK_RATES_4GPU: Sequence[float] = (4000, 12000, 20000)
 
 
-def run(quick: bool = False, num_gpus: int = 2) -> Dict[str, List]:
+def run(quick: bool = False, num_gpus: int = 2, jobs: int = 1) -> Dict[str, List]:
     if num_gpus == 2:
         rates = QUICK_RATES_2GPU if quick else FULL_RATES_2GPU
     else:
@@ -34,29 +34,36 @@ def run(quick: bool = False, num_gpus: int = 2) -> Dict[str, List]:
             dataset,
             rates,
             count,
+            jobs=jobs,
         ),
         "BatchMaker-256,256": common.sweep(
             lambda: common.seq2seq_batchmaker(256, 256, num_gpus),
             dataset,
             rates,
             count,
+            jobs=jobs,
         ),
         "MXNet": common.sweep(
-            lambda: common.seq2seq_padded("MXNet", num_gpus), dataset, rates, count
+            lambda: common.seq2seq_padded("MXNet", num_gpus),
+            dataset,
+            rates,
+            count,
+            jobs=jobs,
         ),
         "TensorFlow": common.sweep(
             lambda: common.seq2seq_padded("TensorFlow", num_gpus),
             dataset,
             rates,
             count,
+            jobs=jobs,
         ),
     }
 
 
-def main(quick: bool = False) -> Dict:
+def main(quick: bool = False, jobs: int = 1) -> Dict:
     results = {}
     for num_gpus in (2, 4):
-        sub = run(quick=quick, num_gpus=num_gpus)
+        sub = run(quick=quick, num_gpus=num_gpus, jobs=jobs)
         results[num_gpus] = sub
         common.print_sweep(
             f"Fig 13{'a' if num_gpus == 2 else 'b'}: Seq2Seq, {num_gpus} GPUs", sub

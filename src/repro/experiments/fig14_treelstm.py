@@ -17,19 +17,23 @@ FULL_RATES: Sequence[float] = (250, 500, 1000, 1500, 2000, 2500, 3000, 3500)
 QUICK_RATES: Sequence[float] = (500, 1500, 3500)
 
 
-def run(quick: bool = False) -> Dict[str, List]:
+def run(quick: bool = False, jobs: int = 1) -> Dict[str, List]:
     rates = QUICK_RATES if quick else FULL_RATES
     count = lambda rate: int(max(1000, min(rate * (0.8 if quick else 2.0), 7000)))
     dataset = lambda: TreeDataset(seed=2)
     return {
-        "BatchMaker": common.sweep(common.tree_batchmaker, dataset, rates, count),
-        "DyNet": common.sweep(common.tree_dynet, dataset, rates, count),
-        "TF Fold": common.sweep(common.tree_tensorflow_fold, dataset, rates, count),
+        "BatchMaker": common.sweep(
+            common.tree_batchmaker, dataset, rates, count, jobs=jobs
+        ),
+        "DyNet": common.sweep(common.tree_dynet, dataset, rates, count, jobs=jobs),
+        "TF Fold": common.sweep(
+            common.tree_tensorflow_fold, dataset, rates, count, jobs=jobs
+        ),
     }
 
 
-def main(quick: bool = False) -> Dict:
-    results = run(quick=quick)
+def main(quick: bool = False, jobs: int = 1) -> Dict:
+    results = run(quick=quick, jobs=jobs)
     common.print_sweep("Fig 14: TreeLSTM on TreeBank-like trees, bmax=64", results)
     bm = common.peak_throughput(results["BatchMaker"])
     dy = common.peak_throughput(results["DyNet"])

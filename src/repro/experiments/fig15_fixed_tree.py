@@ -27,20 +27,24 @@ def _ideal_server() -> IdealServer:
     return IdealServer(TreeLSTMModel(), template, max_batch=64)
 
 
-def run(quick: bool = False) -> Dict[str, List]:
+def run(quick: bool = False, jobs: int = 1) -> Dict[str, List]:
     rates = QUICK_RATES if quick else FULL_RATES
     count = lambda rate: int(max(1500, min(rate * (0.8 if quick else 2.0), 10000)))
     dataset = lambda: TreeDataset(seed=2, fixed_complete_leaves=NUM_LEAVES)
     return {
-        "Ideal": common.sweep(_ideal_server, dataset, rates, count),
-        "BatchMaker": common.sweep(common.tree_batchmaker, dataset, rates, count),
-        "DyNet": common.sweep(common.tree_dynet, dataset, rates, count),
-        "TF Fold": common.sweep(common.tree_tensorflow_fold, dataset, rates, count),
+        "Ideal": common.sweep(_ideal_server, dataset, rates, count, jobs=jobs),
+        "BatchMaker": common.sweep(
+            common.tree_batchmaker, dataset, rates, count, jobs=jobs
+        ),
+        "DyNet": common.sweep(common.tree_dynet, dataset, rates, count, jobs=jobs),
+        "TF Fold": common.sweep(
+            common.tree_tensorflow_fold, dataset, rates, count, jobs=jobs
+        ),
     }
 
 
-def main(quick: bool = False) -> Dict:
-    results = run(quick=quick)
+def main(quick: bool = False, jobs: int = 1) -> Dict:
+    results = run(quick=quick, jobs=jobs)
     common.print_sweep(
         f"Fig 15: identical complete binary trees ({NUM_LEAVES} leaves)", results
     )

@@ -55,7 +55,8 @@ def _measure_numpy(batches: List[int], hidden: int = 1024) -> List[tuple]:
     return points
 
 
-def main(quick: bool = False, measure_numpy: bool = False) -> Dict:
+def main(quick: bool = False, measure_numpy: bool = False, jobs: int = 1) -> Dict:
+    del jobs  # single-point microbench; nothing to parallelise
     result = run(quick=quick, measure_numpy=measure_numpy)
     for device in ("gpu", "cpu"):
         rows = [

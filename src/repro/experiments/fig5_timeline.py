@@ -78,7 +78,8 @@ def run(quick: bool = False) -> Dict:
     return {"cellular": cellular, "graph": graph}
 
 
-def main(quick: bool = False) -> Dict:
+def main(quick: bool = False, jobs: int = 1) -> Dict:
+    del jobs  # one worked 8-request example; nothing to parallelise
     result = run(quick=quick)
     for system in ("graph", "cellular"):
         rows = []

@@ -17,33 +17,39 @@ FULL_RATES: Sequence[float] = (1000, 2000, 5000, 8000, 12000, 16000, 20000, 2200
 QUICK_RATES: Sequence[float] = (2000, 8000, 16000)
 
 
-def run(quick: bool = False, max_batch: int = 512) -> Dict[str, List]:
+def run(quick: bool = False, max_batch: int = 512, jobs: int = 1) -> Dict[str, List]:
     rates = QUICK_RATES if quick else FULL_RATES
     count = common.default_request_count(quick)
     dataset = lambda: SequenceDataset(seed=1)
     return {
         "BatchMaker": common.sweep(
-            lambda: common.lstm_batchmaker(max_batch=max_batch), dataset, rates, count
+            lambda: common.lstm_batchmaker(max_batch=max_batch),
+            dataset,
+            rates,
+            count,
+            jobs=jobs,
         ),
         "MXNet": common.sweep(
             lambda: common.lstm_padded("MXNet", max_batch=max_batch),
             dataset,
             rates,
             count,
+            jobs=jobs,
         ),
         "TensorFlow": common.sweep(
             lambda: common.lstm_padded("TensorFlow", max_batch=max_batch),
             dataset,
             rates,
             count,
+            jobs=jobs,
         ),
     }
 
 
-def main(quick: bool = False) -> Dict:
+def main(quick: bool = False, jobs: int = 1) -> Dict:
     results = {}
     for max_batch in (512, 64):
-        sub = run(quick=quick, max_batch=max_batch)
+        sub = run(quick=quick, max_batch=max_batch, jobs=jobs)
         results[max_batch] = sub
         common.print_sweep(
             f"Fig 7{'a' if max_batch == 512 else 'b'}: LSTM, 1 GPU, bmax={max_batch}",

@@ -18,7 +18,7 @@ FULL_RATES: Sequence[float] = (1000, 2000, 5000, 8000, 12000, 16000)
 QUICK_RATES: Sequence[float] = (2000, 8000)
 
 
-def run(quick: bool = False) -> Dict[str, List]:
+def run(quick: bool = False, jobs: int = 1) -> Dict[str, List]:
     rates = QUICK_RATES if quick else FULL_RATES
     count = common.default_request_count(quick)
     dataset = lambda: SequenceDataset(seed=1)
@@ -29,12 +29,13 @@ def run(quick: bool = False) -> Dict[str, List]:
             dataset,
             rates,
             count,
+            jobs=jobs,
         )
     return results
 
 
-def main(quick: bool = False) -> Dict:
-    results = run(quick=quick)
+def main(quick: bool = False, jobs: int = 1) -> Dict:
+    results = run(quick=quick, jobs=jobs)
     common.print_sweep("Fig 8: MXNet bucket-width sweep (bmax=512, 1 GPU)", results)
     for label, summaries in results.items():
         low_load = summaries[0]

@@ -53,7 +53,8 @@ def _downsample(points, keep: int = 200):
     return [(1e3 * v, f) for v, f in sampled]
 
 
-def main(quick: bool = False) -> Dict:
+def main(quick: bool = False, jobs: int = 1) -> Dict:
+    del jobs  # two single load points; nothing to parallelise
     results = run(quick=quick)
     for series, title in (
         ("queuing", "Fig 9a: queuing time CDF summary @5K req/s"),

@@ -16,6 +16,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablations,
+    common,
     fig3_microbench,
     fig5_timeline,
     fig7_lstm,
@@ -60,6 +61,15 @@ def main(argv=None) -> int:
         help="small request counts / fewer sweep points (seconds instead of minutes)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run each sweep's load points on N worker processes "
+        "(each point is an independent simulation; results are identical "
+        "to --jobs 1, needs the 'fork' start method)",
+    )
+    parser.add_argument(
         "--plot-dir",
         default=None,
         help="also render each figure as SVG into this directory",
@@ -70,6 +80,14 @@ def main(argv=None) -> int:
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.jobs > 1 and not common.parallel_sweep_supported():
+        print(
+            f"[--jobs {args.jobs} ignored: multiprocessing start method is "
+            "not 'fork'; running serially]"
+        )
+        args.jobs = 1
     if args.plot_dir is not None:
         import os
 
@@ -77,7 +95,7 @@ def main(argv=None) -> int:
     for name in names:
         start = time.time()
         print(f"\n######## {name} ########")
-        results = EXPERIMENTS[name](quick=args.quick)
+        results = EXPERIMENTS[name](quick=args.quick, jobs=args.jobs)
         if args.plot_dir is not None:
             module = sys.modules[EXPERIMENTS[name].__module__]
             if hasattr(module, "plot"):

@@ -91,7 +91,8 @@ def run(quick: bool = False) -> Dict:
     return out
 
 
-def main(quick: bool = False) -> Dict:
+def main(quick: bool = False, jobs: int = 1) -> Dict:
+    del jobs  # headline single points; nothing to parallelise
     results = run(quick=quick)
     rows = []
     lstm = results["lstm"]

@@ -17,17 +17,24 @@ from repro.sim.clock import Clock, VirtualClock
 class Event:
     """A scheduled callback.  Cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_loop")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], Any]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._loop: Optional["EventLoop"] = None
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._loop is not None:
+            # Still sitting in the heap: it no longer counts as pending.
+            self._loop._live -= 1
+            self._loop = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -49,6 +56,9 @@ class EventLoop:
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
+        # Count of scheduled, not-yet-run, not-cancelled events; maintained
+        # on push/pop/cancel so ``pending()`` is O(1) instead of a heap scan.
+        self._live = 0
 
     # -- scheduling -------------------------------------------------------
 
@@ -59,7 +69,9 @@ class EventLoop:
                 f"cannot schedule event in the past: {when} < {self.clock.now()}"
             )
         event = Event(when, self._seq, callback)
+        event._loop = self
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -80,8 +92,8 @@ class EventLoop:
         return self.clock.now()
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
@@ -96,7 +108,9 @@ class EventLoop:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
-                continue
+                continue  # already discounted from _live at cancel time
+            event._loop = None
+            self._live -= 1
             self.clock.advance_to(event.time)
             event.callback()
             return True

@@ -30,13 +30,20 @@ def multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Numerically stable logistic function.
+
+    Computed directly in the input's floating dtype (one output buffer, no
+    float64 round-trip); the split at zero keeps every ``exp`` argument
+    non-positive, so it never overflows even at x = ±500.
+    """
+    x = np.asarray(x)
+    compute_dtype = x.dtype if x.dtype.kind == "f" else np.float64
+    out = np.empty(x.shape, dtype=compute_dtype)
     pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos], dtype=compute_dtype))
+    ex = np.exp(x[~pos], dtype=compute_dtype)
     out[~pos] = ex / (1.0 + ex)
-    return out.astype(x.dtype, copy=False)
+    return out.astype(x.dtype, copy=False) if out.dtype != x.dtype else out
 
 
 def tanh(x: np.ndarray) -> np.ndarray:

@@ -41,3 +41,21 @@ class TestRunnerCLI:
         out = capsys.readouterr().out
         assert "single LSTM step" in out
         assert "throughput-optimal batch: 512" in out
+
+
+class TestJobsOption:
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["fig5", "--quick", "--jobs", "0"])
+
+    def test_jobs_accepted_by_non_sweep_experiment(self, capsys):
+        # Experiments with nothing to parallelize still accept --jobs.
+        assert runner.main(["fig5", "--quick", "--jobs", "2"]) == 0
+        assert "[fig5 done" in capsys.readouterr().out
+
+    def test_jobs_falls_back_to_serial_without_fork(self, capsys, monkeypatch):
+        from repro.experiments import common
+
+        monkeypatch.setattr(common, "parallel_sweep_supported", lambda: False)
+        assert runner.main(["fig5", "--quick", "--jobs", "4"]) == 0
+        assert "running serially" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Equivalence of the scheduler's O(1) fast path and the brute-force
+reference.
+
+The incremental ready-count accounting and eligibility indexes must change
+*nothing* about Algorithm 1's decisions: with a fixed seed, a mid-load
+simulation run with ``fast_path=True`` must be bit-identical — same
+``tasks_submitted``, same ``batch_size_counts`` histogram, same
+``RunSummary`` — to one run with the retained O(queue) scans
+(``fast_path=False``).
+"""
+
+import pytest
+
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.models import LSTMChainModel, Seq2SeqModel, TreeLSTMModel
+from repro.workload import (
+    LoadGenerator,
+    Seq2SeqDataset,
+    SequenceDataset,
+    TreeDataset,
+)
+
+
+def _run(server_factory, dataset, rate, num_requests):
+    server = server_factory()
+    generator = LoadGenerator(rate=rate, num_requests=num_requests, seed=7)
+    result = generator.run(server, dataset)
+    scheduler = server.manager.scheduler
+    summary = result.summary
+    return {
+        "tasks_submitted": scheduler.tasks_submitted,
+        "batch_size_counts": dict(scheduler.batch_size_counts),
+        "mean_batch_size": scheduler.mean_batch_size(),
+        "offered_rate": summary.offered_rate,
+        "throughput": summary.throughput,
+        "p50_ms": summary.p50_ms,
+        "p90_ms": summary.p90_ms,
+        "p99_ms": summary.p99_ms,
+        # Bit-exact per-request latencies, not just the percentiles.
+        "latencies": tuple(summary.stats.latencies),
+        "queuing": tuple(summary.stats.queuing),
+    }
+
+
+def _compare(make_server, make_dataset, rate, num_requests):
+    fast = _run(lambda: make_server(True), make_dataset(), rate, num_requests)
+    brute = _run(lambda: make_server(False), make_dataset(), rate, num_requests)
+    assert fast == brute
+
+
+class TestFastPathEquivalence:
+    def test_lstm_mid_load_one_gpu(self):
+        """Chain LSTM at a rate where the queue holds hundreds of released
+        subgraphs — the regime the fast path exists for."""
+
+        def make_server(fast_path):
+            return BatchMakerServer(
+                LSTMChainModel(),
+                config=BatchingConfig.with_max_batch(512, fast_path=fast_path),
+            )
+
+        _compare(make_server, lambda: SequenceDataset(seed=1), 8000, 1500)
+
+    def test_tree_lstm_two_gpus(self):
+        """TreeLSTM on 2 GPUs: exercises pinned-elsewhere skipping, the
+        leaf/internal priority split, and exhausted-subgraph removal."""
+
+        def make_server(fast_path):
+            return BatchMakerServer(
+                TreeLSTMModel(),
+                config=BatchingConfig.with_max_batch(
+                    64,
+                    per_cell_priority={"tree_internal": 1, "tree_leaf": 0},
+                    fast_path=fast_path,
+                ),
+                num_gpus=2,
+            )
+
+        _compare(make_server, lambda: TreeDataset(seed=2), 500, 400)
+
+    def test_seq2seq_two_gpus_per_cell_batches(self):
+        """Seq2Seq with per-cell-type max batches and decoder priority:
+        exercises the three-tier candidate selection across queues."""
+
+        def make_server(fast_path):
+            return BatchMakerServer(
+                Seq2SeqModel(),
+                config=BatchingConfig.with_max_batch(
+                    512,
+                    per_cell_max={"decoder": 256},
+                    per_cell_priority={"decoder": 1, "encoder": 0},
+                    fast_path=fast_path,
+                ),
+                num_gpus=2,
+            )
+
+        _compare(make_server, lambda: Seq2SeqDataset(seed=5), 3000, 600)
+
+    def test_unpinned_ablation_equivalence(self):
+        """pinning=False flips subgraphs to non-optimistic readiness (deps
+        advance on completion) — the counters must track that path too."""
+
+        def make_server(fast_path):
+            return BatchMakerServer(
+                LSTMChainModel(),
+                config=BatchingConfig.with_max_batch(
+                    512, pinning=False, fast_path=fast_path
+                ),
+                num_gpus=2,
+            )
+
+        _compare(make_server, lambda: SequenceDataset(seed=1), 5000, 800)
+
+    def test_fast_path_is_the_default(self):
+        assert BatchingConfig().fast_path is True
+        assert BatchingConfig.with_max_batch(512).fast_path is True
+        assert BatchingConfig(fast_path=False).fast_path is False

@@ -89,6 +89,38 @@ class TestCancellation:
         first.cancel()
         assert loop.peek_time() == 2.0
 
+    def test_cancel_then_pending_counter_stays_consistent(self):
+        """pending() is a maintained counter, not a heap scan: it must stay
+        exact through every push/pop/cancel interleaving."""
+        loop = EventLoop()
+        events = [loop.call_at(float(i), lambda: None) for i in range(5)]
+        assert loop.pending() == 5
+        events[1].cancel()
+        events[3].cancel()
+        assert loop.pending() == 3
+        # Double-cancel must not double-decrement.
+        events[1].cancel()
+        assert loop.pending() == 3
+        # peek_time discards cancelled heads without touching the count.
+        events[0].cancel()
+        assert loop.peek_time() == 2.0
+        assert loop.pending() == 2
+        loop.step()  # runs t=2.0
+        assert loop.pending() == 1
+        # Cancelling an event that already ran is a no-op for the counter.
+        events[2].cancel()
+        assert loop.pending() == 1
+        loop.run()
+        assert loop.pending() == 0
+
+    def test_cancel_after_run_does_not_underflow_pending(self):
+        loop = EventLoop()
+        event = loop.call_at(1.0, lambda: None)
+        loop.run()
+        assert loop.pending() == 0
+        event.cancel()
+        assert loop.pending() == 0
+
 
 class TestRun:
     def test_run_returns_number_of_events(self):

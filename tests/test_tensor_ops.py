@@ -25,6 +25,24 @@ class TestActivations:
         x = np.zeros(3, dtype=np.float32)
         assert ops.sigmoid(x).dtype == np.float32
 
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_sigmoid_stable_at_plus_minus_500(self, dtype):
+        """The split at zero keeps exp arguments non-positive, so ±500 must
+        neither overflow nor warn in either float width (sigmoid now
+        computes directly in the input dtype, no float64 round-trip)."""
+        x = np.array([-500.0, 500.0], dtype=dtype)
+        with np.errstate(over="raise", invalid="raise"):
+            y = ops.sigmoid(x)
+        assert y.dtype == dtype
+        assert y[0] == pytest.approx(0.0, abs=1e-30)
+        assert y[1] == pytest.approx(1.0)
+        assert np.all(np.isfinite(y))
+
+    def test_sigmoid_float32_matches_float64_reference(self):
+        x64 = np.linspace(-30, 30, 61)
+        y32 = ops.sigmoid(x64.astype(np.float32))
+        np.testing.assert_allclose(y32, ops.sigmoid(x64), atol=1e-6)
+
     def test_tanh_matches_numpy(self):
         x = np.linspace(-3, 3, 7)
         np.testing.assert_allclose(ops.tanh(x), np.tanh(x))
