@@ -8,6 +8,8 @@ Top-level entry points:
 * :mod:`repro.models` — the servable model zoo (LSTM chain, Seq2Seq,
   TreeLSTM, plus GRU / beam-search / attention extensions).
 * :mod:`repro.baselines` — the graph-batching comparison systems.
+* :mod:`repro.faults` — deterministic fault injection and SLA machinery
+  (deadlines, retries, load shedding; DESIGN.md §8).
 * :mod:`repro.experiments` — one module per paper table/figure;
   ``python -m repro.experiments.runner all`` regenerates the evaluation.
 

@@ -38,6 +38,13 @@ class BatchMakerServer(InferenceServer):
     real_compute:
         When True, tasks actually run their NumPy cells and finished
         requests carry ``result`` values.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` injecting kernel
+        failures, stragglers and device losses (chaos testing).
+    sla:
+        Optional :class:`~repro.faults.SLAConfig`: default deadlines,
+        retry/backoff policy and load shedding.  Both default to None,
+        in which case the server is bit-identical to the pre-fault engine.
     """
 
     def __init__(
@@ -49,6 +56,8 @@ class BatchMakerServer(InferenceServer):
         loop: Optional[EventLoop] = None,
         real_compute: bool = False,
         name: str = "BatchMaker",
+        fault_plan=None,
+        sla=None,
     ):
         super().__init__(loop if loop is not None else EventLoop(), name)
         if cost_model is None:
@@ -63,6 +72,10 @@ class BatchMakerServer(InferenceServer):
             num_workers=num_gpus,
             real_compute=real_compute,
             on_request_finished=self.finished.append,
+            fault_plan=fault_plan,
+            sla=sla,
+            on_request_timed_out=self.timed_out.append,
+            on_request_rejected=self.rejected.append,
         )
 
     def _accept(self, request: InferenceRequest) -> None:
@@ -82,3 +95,7 @@ class BatchMakerServer(InferenceServer):
 
     def mean_batch_size(self) -> float:
         return self.manager.scheduler.mean_batch_size()
+
+    def fault_counters(self):
+        """The manager's :class:`~repro.metrics.FaultCounters`."""
+        return self.manager.fault_counters

@@ -6,6 +6,21 @@ scheduler is invoked for it; task completions flow back through the request
 processor, which may release new subgraphs and finish requests — after
 which idle workers are poked again so freshly released work starts
 immediately.
+
+Failure handling (DESIGN.md §8) is layered on top and inert by default:
+
+* a :class:`~repro.faults.FaultPlan` can fail or slow individual task
+  executions and drop whole devices at scheduled times;
+* an :class:`~repro.faults.SLAConfig` arms per-request deadline timers
+  (cancellation unwinds the request's queued subgraphs without disturbing
+  the scheduler's incremental counters), retries failed tasks with
+  exponential backoff on a surviving device, and sheds load at admission
+  when the projected queueing delay exceeds the SLO.
+
+Every request reaches exactly one terminal state — FINISHED, TIMED_OUT or
+REJECTED — and the :class:`~repro.metrics.FaultCounters` reconcile with
+those outcomes; the chaos suite (``tests/test_faults_*``) holds both
+invariants under randomized fault schedules.
 """
 
 from __future__ import annotations
@@ -19,8 +34,11 @@ from repro.core.scheduler import Scheduler
 from repro.core.subgraph import Subgraph
 from repro.core.task import BatchedTask
 from repro.core.worker import Worker
+from repro.faults.plan import FaultPlan, KERNEL_FAIL, STRAGGLER
+from repro.faults.sla import RetryPolicy, SLAConfig
 from repro.gpu.costmodel import CostModel
 from repro.gpu.device import GPUDevice
+from repro.metrics.counters import FaultCounters
 from repro.sim.events import EventLoop
 
 if TYPE_CHECKING:  # avoids a circular import (models depend on core)
@@ -39,6 +57,10 @@ class Manager:
         num_workers: int = 1,
         real_compute: bool = False,
         on_request_finished: Optional[Callable[[InferenceRequest], None]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        sla: Optional[SLAConfig] = None,
+        on_request_timed_out: Optional[Callable[[InferenceRequest], None]] = None,
+        on_request_rejected: Optional[Callable[[InferenceRequest], None]] = None,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -47,6 +69,21 @@ class Manager:
         self.config = config
         self.cost_model = cost_model
         self._on_request_finished = on_request_finished
+        self._on_request_timed_out = on_request_timed_out
+        self._on_request_rejected = on_request_rejected
+
+        # Failure machinery; inert (and unqueried) when left at None.
+        self.fault_plan = (
+            fault_plan if fault_plan is not None and fault_plan.injects_anything()
+            else None
+        )
+        self.sla = sla
+        self.fault_counters = FaultCounters()
+        self.timed_out_requests: List[InferenceRequest] = []
+        self.rejected_requests: List[InferenceRequest] = []
+        # Running per-node service-time estimate (EWMA) for the projected
+        # queueing delay used by load shedding.
+        self._node_time_estimate = 0.0
 
         self.scheduler = Scheduler(config, submit=self._submit_task)
         for cell_type in model.cell_types():
@@ -70,10 +107,24 @@ class Manager:
                     loop=loop,
                     on_task_complete=self._task_complete,
                     real_compute=real_compute,
+                    on_task_failed=self._task_failed,
                 )
             )
         self.finished_requests: List[InferenceRequest] = []
         self._poke_pending = False
+
+        if self.fault_plan is not None:
+            for failure in self.fault_plan.device_failures():
+                if failure.device_id >= num_workers:
+                    raise ValueError(
+                        f"fault plan kills device {failure.device_id} but the "
+                        f"server only has {num_workers}"
+                    )
+                worker = self.workers[failure.device_id]
+                self.loop.call_at(
+                    max(failure.time, self.loop.now()),
+                    lambda w=worker: self._device_failed(w),
+                )
 
     # -- request entry -----------------------------------------------------
 
@@ -84,6 +135,29 @@ class Manager:
         simultaneously-arriving requests can be batched together instead of
         the first one grabbing an idle worker alone.
         """
+        reject_reason = None
+        if self.fault_plan is not None and not any(w.alive for w in self.workers):
+            # Every device is dead: without this check a request arriving
+            # after total device loss would queue forever (devices only die
+            # through the fault plan, so the healthy hot path skips it).
+            reject_reason = "no_devices"
+        elif self.sla is not None and self._should_shed(request):
+            reject_reason = "load_shed"
+        if reject_reason is not None:
+            request.mark_rejected(self.loop.now(), reason=reject_reason)
+            self.fault_counters.requests_rejected += 1
+            self.rejected_requests.append(request)
+            if self._on_request_rejected is not None:
+                self._on_request_rejected(request)
+            return
+        if self.sla is not None:
+            if request.deadline is None and self.sla.default_deadline is not None:
+                request.deadline = self.loop.now() + self.sla.default_deadline
+        if request.deadline is not None:
+            request._timeout_event = self.loop.call_at(
+                max(request.deadline, self.loop.now()),
+                lambda: self._deadline_expired(request),
+            )
         self.processor.add_request(request)
         if not self._poke_pending:
             self._poke_pending = True
@@ -93,6 +167,36 @@ class Manager:
         self._poke_pending = False
         self._poke_idle_workers()
 
+    # -- SLA: admission control ---------------------------------------------
+
+    def _should_shed(self, request: InferenceRequest) -> bool:
+        if not any(w.alive for w in self.workers):
+            return True  # no devices left: reject rather than hang
+        if self.sla.max_queue_delay is None:
+            return False
+        return self.projected_queue_delay() > self.sla.max_queue_delay
+
+    def projected_queue_delay(self) -> float:
+        """Seconds a new arrival would plausibly wait before computing:
+        the least-loaded surviving device's backlog plus the estimated
+        drain time of everything already queued in the scheduler."""
+        backlog = min(
+            w.device.backlog() for w in self.workers if w.alive
+        )
+        queued = self.scheduler.total_ready_nodes() * self._node_time_estimate
+        alive = sum(1 for w in self.workers if w.alive)
+        return backlog + queued / alive
+
+    def _observe_task(self, task: BatchedTask) -> None:
+        """Fold a completed task into the per-node service-time EWMA."""
+        if not task.duration or not task.batch_size:
+            return
+        sample = task.duration / task.batch_size
+        if self._node_time_estimate == 0.0:
+            self._node_time_estimate = sample
+        else:
+            self._node_time_estimate += 0.05 * (sample - self._node_time_estimate)
+
     # -- scheduler -> worker -------------------------------------------------
 
     def _submit_task(self, task: BatchedTask, worker: Worker) -> None:
@@ -100,7 +204,18 @@ class Manager:
         for subgraph, _ in task.entries:
             subgraph.request.mark_started(self.loop.now())
             subgraph.last_worker = worker.worker_id
-        worker.submit(task, extra_cost=extra)
+        worker.submit(task, extra_cost=extra, fault=self._draw_fault(task))
+
+    def _draw_fault(self, task: BatchedTask):
+        if self.fault_plan is None:
+            return None
+        fault = self.fault_plan.task_fault(task.task_id, task.attempt)
+        if fault is not None:
+            if fault.kind == KERNEL_FAIL:
+                self.fault_counters.kernel_failures_injected += 1
+            elif fault.kind == STRAGGLER:
+                self.fault_counters.stragglers_injected += 1
+        return fault
 
     def _migration_cost(self, task: BatchedTask, worker: Worker) -> float:
         """Cross-device copy cost for subgraphs whose live state sits on a
@@ -119,18 +234,158 @@ class Manager:
 
     def _task_complete(self, worker: Worker, task: BatchedTask) -> None:
         self.scheduler.task_completed(task)
+        self._observe_task(task)
         self.processor.handle_task_completion(task, self.loop.now())
         self._poke_idle_workers()
 
     def _finished(self, request: InferenceRequest) -> None:
         request.mark_finished(self.loop.now())
+        self._disarm_timeout(request)
+        self.fault_counters.requests_completed += 1
         self.finished_requests.append(request)
         if self._on_request_finished is not None:
             self._on_request_finished(request)
+
+    # -- failure paths -------------------------------------------------------
+
+    def _task_failed(self, worker: Worker, task: BatchedTask, reason: str) -> None:
+        """A task execution did not retire: retry the surviving requests'
+        portion of the batch with exponential backoff, or cancel them when
+        the failure budget is spent."""
+        self.scheduler.task_completed(task)
+        self.fault_counters.tasks_failed += 1
+        retry = self.sla.retry if self.sla is not None else _DEFAULT_RETRY
+        entries = [
+            (sg, node) for sg, node in task.entries if not sg.request.terminal
+        ]
+        if not entries:
+            self._poke_idle_workers()
+            return
+        if task.attempt >= retry.max_retries:
+            for request in _distinct_requests(entries):
+                self._cancel_request(request, reason="retries_exhausted")
+            self._poke_idle_workers()
+            return
+        task.entries = entries
+        delay = retry.backoff(task.attempt)
+        task.prepare_retry()
+        self.fault_counters.retries_attempted += 1
+        for request in _distinct_requests(entries):
+            request.retries += 1
+        self.loop.call_after(delay, lambda: self._run_retry(task))
+        self._poke_idle_workers()
+
+    def _run_retry(self, task: BatchedTask) -> None:
+        """Re-submit a failed task (backoff elapsed).  Requests that turned
+        terminal during the backoff are dropped from the batch; if no alive
+        device remains, the survivors are cancelled instead."""
+        entries = [
+            (sg, node) for sg, node in task.entries if not sg.request.terminal
+        ]
+        if not entries:
+            return
+        task.entries = entries
+        target = self._retry_target(task)
+        if target is None:
+            for request in _distinct_requests(entries):
+                self._cancel_request(request, reason="no_devices")
+            return
+        # Cross-device copy cost applies when the retry lands on a different
+        # GPU than the one holding the subgraphs' live state.
+        extra = self._migration_cost(task, target)
+        if self.config.pinning:
+            for sg in task.subgraphs():
+                sg.repin(target.worker_id)
+        for sg in task.subgraphs():
+            sg.last_worker = target.worker_id
+        self.scheduler.resubmit(task)
+        target.submit(task, extra_cost=extra, fault=self._draw_fault(task))
+
+    def _retry_target(self, task: BatchedTask) -> Optional[Worker]:
+        """Deterministic retry placement: the original worker when it still
+        lives, else the first surviving worker after it in id order."""
+        origin = task.worker_id if task.worker_id is not None else 0
+        n = len(self.workers)
+        for offset in range(n):
+            worker = self.workers[(origin + offset) % n]
+            if worker.alive:
+                return worker
+        return None
+
+    def _device_failed(self, worker: Worker) -> None:
+        """A device dropped out of the fault plan's sky."""
+        if not worker.alive:
+            return
+        self.fault_counters.device_failures += 1
+        # Failing the device fails its in-flight tasks (in submission
+        # order), which individually enter the retry path above.
+        worker.fail_device()
+        # Queued subgraphs pinned to the dead device migrate to the first
+        # survivor (the same deterministic choice the retries make), so
+        # their remaining cells stay schedulable.
+        replacement = self._replacement_for(worker.worker_id)
+        if replacement is not None:
+            self.scheduler.repin_queued(worker.worker_id, replacement.worker_id)
+            self._poke_idle_workers()
+        else:
+            # No devices left: everything still in flight is unservable.
+            for request in list(self.processor.live_requests()):
+                self._cancel_request(request, reason="no_devices")
+
+    def _replacement_for(self, dead_worker_id: int) -> Optional[Worker]:
+        n = len(self.workers)
+        for offset in range(1, n + 1):
+            worker = self.workers[(dead_worker_id + offset) % n]
+            if worker.alive:
+                return worker
+        return None
+
+    # -- SLA: deadlines and cancellation ------------------------------------
+
+    def _deadline_expired(self, request: InferenceRequest) -> None:
+        request._timeout_event = None
+        if request.terminal:
+            return
+        self._cancel_request(request, reason="deadline")
+
+    def _cancel_request(self, request: InferenceRequest, reason: str) -> bool:
+        """Terminal cancellation: mark the request timed out, unwind its
+        queued subgraphs from the scheduler, and disarm its timer.  Nodes
+        already in flight are left to retire; the processor ignores
+        completions for terminal requests."""
+        if request.terminal:
+            return False
+        request.mark_timed_out(self.loop.now(), reason=reason)
+        self._disarm_timeout(request)
+        self.scheduler.evict_request(request)
+        self.processor.abandon(request)
+        self.fault_counters.requests_timed_out += 1
+        self.timed_out_requests.append(request)
+        if self._on_request_timed_out is not None:
+            self._on_request_timed_out(request)
+        return True
+
+    @staticmethod
+    def _disarm_timeout(request: InferenceRequest) -> None:
+        if request._timeout_event is not None:
+            request._timeout_event.cancel()
+            request._timeout_event = None
 
     # -- idle-driven scheduling ------------------------------------------------
 
     def _poke_idle_workers(self) -> None:
         for worker in self.workers:
-            if worker.is_idle():
+            if worker.alive and worker.is_idle():
                 self.scheduler.schedule(worker)
+
+
+def _distinct_requests(entries) -> List[InferenceRequest]:
+    """Distinct requests contributing entries, in first-seen order."""
+    seen: Dict[int, InferenceRequest] = {}
+    for sg, _ in entries:
+        seen.setdefault(sg.request.request_id, sg.request)
+    return list(seen.values())
+
+
+# Used when a fault plan fails tasks but no SLAConfig was given.
+_DEFAULT_RETRY = RetryPolicy()

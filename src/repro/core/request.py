@@ -14,9 +14,17 @@ from repro.core.cell_graph import CellGraph
 
 
 class RequestState(enum.Enum):
-    PENDING = "pending"      # arrived, not yet executing
-    RUNNING = "running"      # at least one cell executed
-    FINISHED = "finished"    # last cell done, result returned
+    PENDING = "pending"        # arrived, not yet executing
+    RUNNING = "running"        # at least one cell executed
+    FINISHED = "finished"      # last cell done, result returned
+    TIMED_OUT = "timed_out"    # deadline expired or failure budget exhausted
+    REJECTED = "rejected"      # shed at admission (SLA load shedding)
+
+
+# States a request can never leave; every request reaches exactly one.
+TERMINAL_STATES = frozenset(
+    {RequestState.FINISHED, RequestState.TIMED_OUT, RequestState.REJECTED}
+)
 
 
 class InferenceRequest:
@@ -34,6 +42,13 @@ class InferenceRequest:
         self.start_time: Optional[float] = None   # first cell began executing
         self.finish_time: Optional[float] = None  # result returned
 
+        # SLA state (all None/zero unless the server enforces deadlines).
+        self.deadline: Optional[float] = None     # absolute cut-off time
+        self.terminal_time: Optional[float] = None  # when a terminal state hit
+        self.cancel_reason: Optional[str] = None  # "deadline", "retries_exhausted", ...
+        self.retries = 0                          # task retries touching this request
+        self._timeout_event = None                # loop Event handle, if armed
+
         # Completion bookkeeping maintained by the request processor.
         self.remaining_nodes = 0
         self.unfolding_complete = True  # dynamic decoders flip this off
@@ -47,11 +62,30 @@ class InferenceRequest:
             self.start_time = now
             self.state = RequestState.RUNNING
 
+    def _enter_terminal(self, state: RequestState, now: float) -> None:
+        if self.state in TERMINAL_STATES:
+            raise RuntimeError(
+                f"request {self.request_id} terminal state set twice: "
+                f"{self.state.value} -> {state.value}"
+            )
+        self.state = state
+        self.terminal_time = now
+
     def mark_finished(self, now: float) -> None:
-        if self.state is RequestState.FINISHED:
-            raise RuntimeError(f"request {self.request_id} finished twice")
+        self._enter_terminal(RequestState.FINISHED, now)
         self.finish_time = now
-        self.state = RequestState.FINISHED
+
+    def mark_timed_out(self, now: float, reason: str = "deadline") -> None:
+        self._enter_terminal(RequestState.TIMED_OUT, now)
+        self.cancel_reason = reason
+
+    def mark_rejected(self, now: float, reason: str = "load_shed") -> None:
+        self._enter_terminal(RequestState.REJECTED, now)
+        self.cancel_reason = reason
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
 
     # -- metrics -------------------------------------------------------------
 

@@ -88,6 +88,20 @@ class RequestProcessor:
         sg.released = True
         self._on_release(sg)
 
+    # -- cancellation -------------------------------------------------------
+
+    def abandon(self, request: InferenceRequest) -> None:
+        """Stop tracking a cancelled request.  Its in-flight nodes may still
+        retire; :meth:`handle_task_completion` skips all bookkeeping for
+        terminal requests, so nothing can resurrect or double-finish it."""
+        self._live_requests.discard(request.request_id)
+
+    def live_requests(self) -> List[InferenceRequest]:
+        """Snapshot of not-yet-terminal tracked requests (id order)."""
+        return [
+            self._requests[rid] for rid in sorted(self._live_requests)
+        ]
+
     # -- completion -------------------------------------------------------------
 
     def handle_task_completion(self, task: BatchedTask, now: float) -> List[InferenceRequest]:
@@ -95,12 +109,17 @@ class RequestProcessor:
         finished as a result."""
         affected_requests: Dict[int, InferenceRequest] = {}
 
-        # 1. Mark nodes completed and update per-subgraph counters.
+        # 1. Mark nodes completed and update per-subgraph counters.  Nodes
+        # of cancelled (terminal) requests retire without bookkeeping: the
+        # request was written off whole at cancellation time, and nothing
+        # below may resurrect it.
         for subgraph, node in task.entries:
+            request = subgraph.request
+            if request.terminal:
+                continue
             if node.completed:
                 raise RuntimeError(f"node {node.node_id} completed twice")
             node.completed = True
-            request = subgraph.request
             request.remaining_nodes -= 1
             self.total_nodes_processed += 1
             affected_requests[request.request_id] = request
@@ -110,6 +129,8 @@ class RequestProcessor:
         # 2. Dynamic unfolding: give the model a chance to grow each graph.
         for subgraph, node in task.entries:
             request = subgraph.request
+            if request.terminal:
+                continue
             new_nodes = self.model.extend(subgraph.graph, node, request.payload)
             if new_nodes:
                 request.remaining_nodes += len(new_nodes)
@@ -125,8 +146,12 @@ class RequestProcessor:
                     if sg.is_releasable():
                         self._release(sg)
 
-        # 3. Propagate completions across subgraph boundaries.
+        # 3. Propagate completions across subgraph boundaries.  External
+        # edges never cross requests, so skipping terminal requests here
+        # cannot starve anyone else.
         for subgraph, node in task.entries:
+            if subgraph.request.terminal:
+                continue
             graph = subgraph.graph
             for succ_id in graph.successors(node.node_id):
                 succ = graph.node(succ_id)

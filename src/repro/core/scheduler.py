@@ -333,6 +333,42 @@ class Scheduler:
         self.batch_size_counts[task.batch_size] += 1
         self._submit(task, worker)
 
+    # -- failure handling (DESIGN.md §8) -------------------------------------
+
+    def evict_request(self, request) -> int:
+        """Unwind a cancelled request: drop every one of its subgraphs that
+        is still queued.  ``CellTypeQueue.remove`` gives the ready counter
+        back and clears the owner, so the lazy heap entries left behind are
+        recognised as stale and discarded on pop — the fast path stays
+        bit-identical to a brute-force rescan.  Returns how many subgraphs
+        were evicted."""
+        evicted = 0
+        for sg in request.subgraphs.values():
+            owner = sg.owner
+            if owner is not None:
+                owner.remove(sg)
+                evicted += 1
+        return evicted
+
+    def resubmit(self, task: BatchedTask) -> None:
+        """Account a retried task as running again.  Retries do not count
+        toward ``tasks_submitted`` or the batch-size histogram — those
+        describe the scheduling policy's decisions, which a retry replays
+        rather than makes."""
+        self._queues[task.cell_type.name].running_tasks += 1
+
+    def repin_queued(self, dead_worker_id: int, replacement: Optional[int]) -> int:
+        """A device died: migrate every queued subgraph pinned to it to
+        ``replacement`` (or unpin when None).  O(queued subgraphs), which is
+        fine for the rare device-loss path.  Returns how many moved."""
+        moved = 0
+        for queue in self._queue_list:
+            for sg in queue.subgraphs.values():
+                if sg.pinned == dead_worker_id:
+                    sg.repin(replacement)
+                    moved += 1
+        return moved
+
     # -- completion ---------------------------------------------------------
 
     def task_completed(self, task: BatchedTask) -> None:

@@ -25,6 +25,11 @@ class ServerStats:
         self.batch_size_counts = dict(manager.scheduler.batch_size_counts)
         self.nodes_processed = manager.processor.total_nodes_processed
         self.live_requests = manager.processor.live_request_count()
+        # Fault/SLA counters (all zero on a healthy run).
+        self.faults = manager.fault_counters.as_dict()
+        self.any_faults = manager.fault_counters.any_faults()
+        self.timed_out_requests = len(getattr(server, "timed_out", ()))
+        self.rejected_requests = len(getattr(server, "rejected", ()))
         now = manager.loop.now()
         self.workers = []
         for worker in manager.workers:
@@ -104,5 +109,16 @@ class ServerStats:
                 f"p90 {1e3 * self.latency.p(90):.2f}, "
                 f"p99 {1e3 * self.latency.p(99):.2f} "
                 f"(queuing p99 {1e3 * self.latency.p(99, 'queuing'):.2f})"
+            )
+        if self.any_faults or self.timed_out_requests or self.rejected_requests:
+            f = self.faults
+            lines.append(
+                "faults: "
+                f"{f['kernel_failures_injected']} kernel failures, "
+                f"{f['stragglers_injected']} stragglers, "
+                f"{f['device_failures']} device losses; "
+                f"{f['retries_attempted']} retries; "
+                f"{self.timed_out_requests} timed out, "
+                f"{self.rejected_requests} rejected (load shed)"
             )
         return "\n".join(lines)

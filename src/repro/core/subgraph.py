@@ -172,6 +172,18 @@ class Subgraph:
         if newly_pinned and self.owner is not None:
             self.owner.on_pin_changed(self)
 
+    def repin(self, worker_id: Optional[int]) -> None:
+        """Forcibly move the pin to another worker (or clear it) without
+        touching ``inflight`` — the failure path uses this when the pinned
+        device dies and the subgraph's remaining work must migrate to a
+        survivor.  Normal scheduling must use :meth:`pin`, which enforces
+        single-worker affinity."""
+        if self.pinned == worker_id:
+            return
+        self.pinned = worker_id
+        if self.owner is not None:
+            self.owner.on_pin_changed(self)
+
     def task_done(self, completed_nodes: int) -> None:
         """A task containing this subgraph's nodes retired; unpin at zero."""
         self.uncompleted -= completed_nodes

@@ -43,6 +43,17 @@ class BatchedTask:
         self.submit_time: Optional[float] = None
         self.finish_time: Optional[float] = None
         self.duration: Optional[float] = None
+        # Retry bookkeeping: 0 for the original submission, incremented by
+        # the manager for each re-submission after a failed execution.
+        self.attempt = 0
+
+    def prepare_retry(self) -> None:
+        """Reset per-execution state so the task can be submitted again."""
+        self.attempt += 1
+        self.worker_id = None
+        self.submit_time = None
+        self.finish_time = None
+        self.duration = None
 
     @property
     def batch_size(self) -> int:

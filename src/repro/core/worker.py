@@ -5,13 +5,21 @@ asynchronously on its device's FIFO stream (so dependent tasks submitted in
 order need no synchronisation, §5), and reports completions back to the
 manager through the signal-kernel callback — the simulation analogue of the
 pinned-host signal variable the polling thread watches.
+
+Failure semantics (DESIGN.md §8): a task execution can carry an injected
+:class:`~repro.faults.plan.TaskFault`.  A *straggler* fault stretches the
+kernel time; a *kernel failure* consumes the device time but delivers a
+failure signal instead of a completion, which the manager turns into a
+retry or a cancellation.  A dead device (:meth:`fail_device`) cancels every
+in-flight completion and fails the corresponding tasks immediately.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.task import BatchedTask
+from repro.faults.plan import KERNEL_FAIL, STRAGGLER, TaskFault
 from repro.gpu.costmodel import CostModel
 from repro.gpu.device import GPUDevice
 from repro.sim.events import EventLoop
@@ -28,22 +36,36 @@ class Worker:
         loop: EventLoop,
         on_task_complete: Callable[["Worker", BatchedTask], None],
         real_compute: bool = False,
+        on_task_failed: Optional[
+            Callable[["Worker", BatchedTask, str], None]
+        ] = None,
     ):
         self.worker_id = worker_id
         self.device = device
         self.cost_model = cost_model
         self.loop = loop
         self._on_task_complete = on_task_complete
+        self._on_task_failed = on_task_failed
         self.real_compute = real_compute
+        self.alive = True
         self.outstanding = 0
         self.tasks_executed = 0
+        self.tasks_failed = 0
         self.busy_time = 0.0
         self.gathers_performed = 0
+        # Submission-ordered in-flight tasks, so device loss can fail them
+        # in the same deterministic order their completions would have fired.
+        self._inflight: "Dict[int, BatchedTask]" = {}
         # Batch composition (subgraph-id set) of the most recently submitted
         # task: an identical composition needs no gather copy (§4.3).
         self._last_composition = None
 
-    def submit(self, task: BatchedTask, extra_cost: float = 0.0) -> None:
+    def submit(
+        self,
+        task: BatchedTask,
+        extra_cost: float = 0.0,
+        fault: Optional[TaskFault] = None,
+    ) -> None:
         """Accept a task: run the (NumPy) computation in stream order and
         reserve the modelled device time.
 
@@ -54,9 +76,14 @@ class Worker:
         """
         if task.worker_id is not None:
             raise RuntimeError(f"task {task.task_id} submitted twice")
+        if not self.alive:
+            raise RuntimeError(
+                f"task {task.task_id} submitted to dead worker {self.worker_id}"
+            )
         task.worker_id = self.worker_id
         task.submit_time = self.loop.now()
-        if self.real_compute:
+        will_fail = fault is not None and fault.kind == KERNEL_FAIL
+        if self.real_compute and not will_fail:
             task.execute()
         else:
             task.mark_launched_sim()
@@ -73,24 +100,65 @@ class Worker:
             num_operators=task.cell_type.num_operators(),
             include_gather=needs_gather,
         ) + extra_cost
+        if fault is not None and fault.kind == STRAGGLER:
+            duration *= fault.slowdown
         task.duration = duration
         self.outstanding += 1
+        self._inflight[task.task_id] = task
+        on_retire = (
+            (lambda: self._fail(task, "kernel_fault"))
+            if will_fail
+            else (lambda: self._complete(task))
+        )
         self.device.run_for(
             duration,
-            on_complete=lambda: self._complete(task),
+            on_complete=on_retire,
             tag=(task.cell_type.name, task.batch_size),
         )
 
     def _complete(self, task: BatchedTask) -> None:
         task.finish_time = self.loop.now()
+        self._inflight.pop(task.task_id, None)
         self.outstanding -= 1
         self.tasks_executed += 1
         self.busy_time += task.duration or 0.0
         self._on_task_complete(self, task)
+
+    def _fail(self, task: BatchedTask, reason: str) -> None:
+        """A task execution did not retire cleanly (kernel fault at its
+        retire time, or the device died under it)."""
+        self._inflight.pop(task.task_id, None)
+        self.outstanding -= 1
+        self.tasks_failed += 1
+        if reason != "device_lost":
+            # A kernel fault is detected at retire time: the device time was
+            # consumed.  A lost device never retires the kernel; its
+            # timeline is truncated at the death instant instead.
+            self.busy_time += task.duration or 0.0
+        if self._on_task_failed is None:
+            raise RuntimeError(
+                f"task {task.task_id} failed ({reason}) but worker "
+                f"{self.worker_id} has no failure handler"
+            )
+        self._on_task_failed(self, task, reason)
+
+    def fail_device(self) -> List[BatchedTask]:
+        """The device died: cancel pending completions and fail every
+        in-flight task, in submission order.  Returns the failed tasks."""
+        if not self.alive:
+            return []
+        self.alive = False
+        self.device.fail()
+        doomed = list(self._inflight.values())
+        for task in doomed:
+            self._fail(task, "device_lost")
+        self._inflight.clear()
+        return doomed
 
     def is_idle(self) -> bool:
         """No submitted-but-unretired tasks; the scheduler refills on idle."""
         return self.outstanding == 0
 
     def __repr__(self) -> str:
-        return f"<Worker {self.worker_id} outstanding={self.outstanding}>"
+        state = "" if self.alive else " DEAD"
+        return f"<Worker {self.worker_id} outstanding={self.outstanding}{state}>"

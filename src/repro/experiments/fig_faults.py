@@ -1,0 +1,120 @@
+"""Fault sweep: tail latency and goodput vs injected kernel-failure rate.
+
+Beyond the paper's evaluation (which assumes healthy hardware): serve the
+chain-LSTM workload at a fixed moderate load while injecting kernel
+failures at increasing rates, with the SLA machinery retrying failed tasks
+(exponential backoff) and cancelling requests whose deadline or failure
+budget is spent.  Reported per fault rate: p50/p99 latency of completed
+requests, goodput (completed req/s), timeouts and retries — how gracefully
+cellular batching degrades when kernels start failing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.faults import FaultPlan, RetryPolicy, SLAConfig
+from repro.metrics.summary import RunSummary, format_table
+from repro.models import LSTMChainModel
+from repro.workload import LoadGenerator, SequenceDataset
+
+FULL_FAULT_RATES: Sequence[float] = (0.0, 0.005, 0.01, 0.02, 0.05, 0.1)
+QUICK_FAULT_RATES: Sequence[float] = (0.0, 0.02, 0.1)
+
+RATE = 4000.0          # req/s: well below saturation, so added tail = faults
+DEADLINE = 100e-3      # generous SLO; retries normally beat it
+FAULT_SEED = 13
+
+
+def _server(fault_rate: float, num_gpus: int = 2) -> BatchMakerServer:
+    plan = FaultPlan(seed=FAULT_SEED, kernel_failure_rate=fault_rate)
+    sla = SLAConfig(
+        default_deadline=DEADLINE,
+        retry=RetryPolicy(max_retries=3, backoff_base=200e-6),
+    )
+    return BatchMakerServer(
+        LSTMChainModel(),
+        config=BatchingConfig.with_max_batch(512),
+        num_gpus=num_gpus,
+        fault_plan=plan,
+        sla=sla,
+        name=f"BatchMaker (fault rate {fault_rate:g})",
+    )
+
+
+def run(quick: bool = False, jobs: int = 1) -> Dict[float, RunSummary]:
+    fault_rates = QUICK_FAULT_RATES if quick else FULL_FAULT_RATES
+    num_requests = 2000 if quick else 8000
+    results: Dict[float, RunSummary] = {}
+    for fault_rate in fault_rates:
+        generator = LoadGenerator(rate=RATE, num_requests=num_requests, seed=7)
+        result = generator.run(_server(fault_rate), SequenceDataset(seed=1))
+        results[fault_rate] = result.summary
+    return results
+
+
+def main(quick: bool = False, jobs: int = 1) -> Dict[float, RunSummary]:
+    results = run(quick=quick, jobs=jobs)
+    print(f"\n== Fault sweep: LSTM @ {RATE:.0f} req/s, 2 GPUs, "
+          f"{DEADLINE * 1e3:.0f} ms SLO ==")
+    rows = []
+    for fault_rate, s in results.items():
+        rows.append(
+            [
+                f"{fault_rate:.3f}",
+                f"{s.throughput:.0f}",
+                f"{s.p50_ms:.2f}",
+                f"{s.p99_ms:.2f}",
+                f"{s.extras.get('timed_out', 0):.0f}",
+                f"{s.extras.get('retries', 0):.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["fault rate", "goodput req/s", "p50 ms", "p99 ms",
+             "timeouts", "retries"],
+            rows,
+        )
+    )
+    healthy = results.get(0.0)
+    worst = results[max(results)]
+    if healthy is not None:
+        print(
+            f"p99 inflation at fault rate {max(results):g}: "
+            f"{worst.p99_ms / healthy.p99_ms:.2f}x "
+            f"({healthy.p99_ms:.2f} -> {worst.p99_ms:.2f} ms)"
+        )
+    return results
+
+
+def plot(results: Dict[float, RunSummary], out_dir) -> List[str]:
+    """Render the fault sweep: p99 latency vs fault rate, goodput inset."""
+    from pathlib import Path
+
+    from repro.plot.chart import Chart, Series
+
+    chart = Chart(
+        "Fault sweep: tail latency vs kernel failure rate",
+        x_label="Kernel failure rate",
+        y_label="Latency (ms)",
+    )
+    rates = sorted(results)
+    chart.add(Series("p99", [(r, results[r].p99_ms) for r in rates]))
+    chart.add(Series("p50", [(r, results[r].p50_ms) for r in rates]))
+    path = Path(out_dir) / "fig_faults_latency.svg"
+    chart.save(path)
+
+    goodput = Chart(
+        "Fault sweep: goodput vs kernel failure rate",
+        x_label="Kernel failure rate",
+        y_label="Goodput (req/s)",
+    )
+    goodput.add(Series("goodput", [(r, results[r].throughput) for r in rates]))
+    goodput_path = Path(out_dir) / "fig_faults_goodput.svg"
+    goodput.save(goodput_path)
+    return [str(path), str(goodput_path)]
+
+
+if __name__ == "__main__":
+    main()

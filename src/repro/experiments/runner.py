@@ -27,6 +27,7 @@ from repro.experiments import (
     fig13_seq2seq,
     fig14_treelstm,
     fig15_fixed_tree,
+    fig_faults,
     summary,
 )
 
@@ -41,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable[..., dict]] = {
     "fig13": fig13_seq2seq.main,
     "fig14": fig14_treelstm.main,
     "fig15": fig15_fixed_tree.main,
+    "fig_faults": fig_faults.main,
     "ablations": ablations.main,
     "summary": summary.main,
 }

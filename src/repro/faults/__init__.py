@@ -1,0 +1,38 @@
+"""Fault injection and SLA enforcement (DESIGN.md §8).
+
+The serving stack keeps its latency story only if it keeps its *liveness*
+story when hardware misbehaves.  This package provides:
+
+* :class:`FaultPlan` — a deterministic, seedable schedule of kernel
+  failures, stragglers and device losses, injected through the simulated
+  GPU at task granularity;
+* :class:`SLAConfig` / :class:`RetryPolicy` — per-request deadlines,
+  batch-level retry with exponential backoff, and admission-time load
+  shedding;
+* :class:`FaultCounters` — the reconciliation surface between what the
+  engine did and what happened to each request.
+
+All hooks are no-ops by default: a server constructed without a plan or an
+SLA is bit-identical to the pre-fault engine.
+"""
+
+from repro.faults.plan import (
+    KERNEL_FAIL,
+    STRAGGLER,
+    DeviceFailure,
+    FaultPlan,
+    TaskFault,
+)
+from repro.faults.sla import RetryPolicy, SLAConfig
+from repro.metrics.counters import FaultCounters
+
+__all__ = [
+    "FaultPlan",
+    "TaskFault",
+    "DeviceFailure",
+    "KERNEL_FAIL",
+    "STRAGGLER",
+    "RetryPolicy",
+    "SLAConfig",
+    "FaultCounters",
+]

@@ -1,0 +1,92 @@
+"""SLA machinery: deadlines, retry/backoff policy, load shedding.
+
+These are the knobs the manager reads when it reacts to injected (or, in a
+real deployment, actual) faults.  Everything defaults to "off": a server
+built without an :class:`SLAConfig` behaves exactly like the pre-fault
+engine — no timers are scheduled, no admission check runs, and a failed
+task is retried with the default policy only when a fault plan is present
+to fail it in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RetryPolicy:
+    """Batch-level retry with exponential backoff.
+
+    A failed task is re-submitted after ``backoff_base * factor**attempt``
+    seconds (attempt 0 = first retry), at most ``max_retries`` times; after
+    that every surviving request in the task is cancelled with a terminal
+    timed-out status ("retries exhausted" — the request's failure budget is
+    an SLA resource just like its deadline).
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        backoff_base: float = 200e-6,
+        backoff_factor: float = 2.0,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt + 1`` (attempt counts the
+        retries already performed)."""
+        return self.backoff_base * self.backoff_factor ** attempt
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_retries={self.max_retries}, "
+            f"backoff_base={self.backoff_base:g}, "
+            f"backoff_factor={self.backoff_factor:g})"
+        )
+
+
+class SLAConfig:
+    """Per-server service-level agreement.
+
+    Parameters
+    ----------
+    default_deadline:
+        Relative deadline (seconds from arrival) applied to every request
+        that does not carry its own; ``None`` means requests without an
+        explicit deadline never time out.
+    max_queue_delay:
+        Load-shedding threshold: a new arrival is rejected (terminal
+        REJECTED status, never enters the pipeline) when the projected
+        queueing delay — device backlog plus a running estimate of the
+        drain time of the scheduler's ready nodes — exceeds this bound.
+        ``None`` disables shedding.
+    retry:
+        The :class:`RetryPolicy` for failed tasks.
+    """
+
+    def __init__(
+        self,
+        default_deadline: Optional[float] = None,
+        max_queue_delay: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive")
+        if max_queue_delay is not None and max_queue_delay <= 0:
+            raise ValueError("max_queue_delay must be positive")
+        self.default_deadline = default_deadline
+        self.max_queue_delay = max_queue_delay
+        self.retry = retry if retry is not None else RetryPolicy()
+
+    def __repr__(self) -> str:
+        return (
+            f"SLAConfig(default_deadline={self.default_deadline}, "
+            f"max_queue_delay={self.max_queue_delay}, retry={self.retry})"
+        )

@@ -13,7 +13,11 @@ from __future__ import annotations
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.gpu.kernel import Kernel, SignalKernel
-from repro.sim.events import EventLoop
+from repro.sim.events import Event, EventLoop
+
+
+class DeviceLostError(RuntimeError):
+    """Work was submitted to (or running on) a device that has died."""
 
 
 class DeviceTimeline:
@@ -24,6 +28,16 @@ class DeviceTimeline:
 
     def record(self, start: float, end: float, tag: Any) -> None:
         self.intervals.append((start, end, tag))
+
+    def truncate(self, at: float) -> None:
+        """Forget device time after ``at`` (the device died then): intervals
+        past the cut are dropped, straddling ones are clipped."""
+        clipped: List[Tuple[float, float, Any]] = []
+        for start, end, tag in self.intervals:
+            if start >= at:
+                continue
+            clipped.append((start, min(end, at), tag))
+        self.intervals = clipped
 
     def busy_time(self, since: float = 0.0, until: Optional[float] = None) -> float:
         """Total busy seconds within the window [since, until]."""
@@ -65,6 +79,10 @@ class GPUDevice:
         self.timeline = DeviceTimeline()
         self._free_at = 0.0
         self._kernels_launched = 0
+        self.alive = True
+        # Signal events scheduled for not-yet-retired kernels; cancelled en
+        # masse when the device dies (fired events are pruned lazily).
+        self._pending_signals: List[Event] = []
 
     # -- execution ---------------------------------------------------------
 
@@ -77,17 +95,40 @@ class GPUDevice:
         """
         if not kernels:
             raise ValueError("cannot submit an empty kernel sequence")
+        if not self.alive:
+            raise DeviceLostError(f"device {self.name} is dead")
+        if len(self._pending_signals) > 64:
+            self._pending_signals = [
+                e for e in self._pending_signals if not (e.fired or e.cancelled)
+            ]
         start = max(self.loop.now(), self._free_at)
         t = start
         for kernel in kernels:
             t += kernel.duration
             self._kernels_launched += 1
             if isinstance(kernel, SignalKernel):
-                self.loop.call_at(t, kernel.callback)
+                self._pending_signals.append(
+                    self.loop.call_at(t, kernel.callback)
+                )
         if t > start:
             self.timeline.record(start, t, tag)
         self._free_at = t
         return t
+
+    def fail(self) -> int:
+        """Kill the device: every not-yet-delivered signal is cancelled (the
+        kernels never retire), queued work is discarded, and utilisation
+        accounting is clipped at the death time.  Returns the number of
+        signals that were cancelled.  Idempotent."""
+        if not self.alive:
+            return 0
+        self.alive = False
+        now = self.loop.now()
+        cancelled = sum(1 for event in self._pending_signals if event.cancel())
+        self._pending_signals.clear()
+        self.timeline.truncate(now)
+        self._free_at = now
+        return cancelled
 
     def run_for(self, duration: float, on_complete=None, tag: Any = None) -> float:
         """Convenience: one compute kernel plus a signal kernel."""

@@ -1,10 +1,12 @@
-"""Measurement: latency percentiles, CDFs, throughput-latency sweeps."""
+"""Measurement: latency percentiles, CDFs, sweeps, fault/SLA counters."""
 
+from repro.metrics.counters import FaultCounters
 from repro.metrics.latency import LatencyStats, cdf_points, percentile
 from repro.metrics.summary import RunSummary, SweepPoint, format_table
 from repro.metrics.timeline import TaskRecord, TaskTrace
 
 __all__ = [
+    "FaultCounters",
     "LatencyStats",
     "percentile",
     "cdf_points",

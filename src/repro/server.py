@@ -23,6 +23,11 @@ class InferenceServer:
         self.loop = loop
         self.name = name
         self.finished: List[InferenceRequest] = []
+        # Requests that reached a non-success terminal state.  Only servers
+        # with SLA enforcement (BatchMaker) populate these; the baselines
+        # run every request to completion.
+        self.timed_out: List[InferenceRequest] = []
+        self.rejected: List[InferenceRequest] = []
         self._next_request_id = 0
 
     # -- to implement --------------------------------------------------------
@@ -33,17 +38,35 @@ class InferenceServer:
 
     # -- shared machinery ------------------------------------------------------
 
-    def submit(self, payload: Any, arrival_time: Optional[float] = None) -> InferenceRequest:
-        """Register a request to arrive at ``arrival_time`` (default: now)."""
+    def submit(
+        self,
+        payload: Any,
+        arrival_time: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> InferenceRequest:
+        """Register a request to arrive at ``arrival_time`` (default: now).
+
+        ``deadline`` is relative to the arrival time; a request that has
+        not finished by then is cancelled with a terminal TIMED_OUT status
+        (servers without SLA machinery ignore it).
+        """
         when = self.loop.now() if arrival_time is None else arrival_time
         if when < self.loop.now():
             raise ValueError(
                 f"arrival time {when} is in the past (now={self.loop.now()})"
             )
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         request = InferenceRequest(self._next_request_id, payload, when)
+        if deadline is not None:
+            request.deadline = when + deadline
         self._next_request_id += 1
         self.loop.call_at(when, lambda: self._accept(request))
         return request
+
+    def terminal_requests(self) -> List[InferenceRequest]:
+        """Every request that reached a terminal state, any status."""
+        return self.finished + self.timed_out + self.rejected
 
     def _finish_request(self, request: InferenceRequest) -> None:
         request.mark_finished(self.loop.now())

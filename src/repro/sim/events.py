@@ -17,24 +17,36 @@ from repro.sim.clock import Clock, VirtualClock
 class Event:
     """A scheduled callback.  Cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_loop")
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired", "_loop")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], Any]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.fired = False
         self._loop: Optional["EventLoop"] = None
 
-    def cancel(self) -> None:
-        """Mark the event so the loop skips it when popped."""
-        if self.cancelled:
-            return
+    def cancel(self) -> bool:
+        """Mark the event so the loop skips it when popped.
+
+        Returns True when the cancellation took effect (the callback will
+        never run), False when it was a no-op because the event already
+        fired or was already cancelled.  The ``fired`` guard makes the
+        exactly-once accounting explicit: cancelling an event mid-drain —
+        including from a callback running at the same timestamp, or from
+        the event's own callback — can never decrement ``pending()`` a
+        second time, because only a live-in-heap event (``fired`` False,
+        ``_loop`` set) carries a pending count to give back.
+        """
+        if self.cancelled or self.fired:
+            return False
         self.cancelled = True
         if self._loop is not None:
             # Still sitting in the heap: it no longer counts as pending.
             self._loop._live -= 1
             self._loop = None
+        return True
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -95,6 +107,14 @@ class EventLoop:
         """Number of not-yet-cancelled events in the queue (O(1))."""
         return self._live
 
+    def recount_pending(self) -> int:
+        """Brute-force reference for ``pending()``: scan the heap.
+
+        The chaos suite asserts ``pending() == recount_pending()`` after
+        adversarial cancel/fire interleavings, so any future drift in the
+        incremental counter is caught immediately."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
         while self._heap and self._heap[0].cancelled:
@@ -109,6 +129,7 @@ class EventLoop:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue  # already discounted from _live at cancel time
+            event.fired = True
             event._loop = None
             self._live -= 1
             self.clock.advance_to(event.time)

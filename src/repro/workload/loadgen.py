@@ -86,10 +86,25 @@ class LoadGenerator:
         last = max(r.finish_time for r in measured)
         span = max(last - first, 1e-9)
         throughput = len(measured) / span
+        extras = {}
+        timed_out = getattr(server, "timed_out", ())
+        rejected = getattr(server, "rejected", ())
+        retries = sum(r.retries for r in server.terminal_requests())
+        if timed_out or rejected or retries:
+            # SLA outcomes (post-warmup), so fault sweeps can plot goodput
+            # and shed/timeout rates next to the latency percentiles.
+            extras["timed_out"] = float(
+                sum(1 for r in timed_out if r.request_id >= warmup_cutoff)
+            )
+            extras["rejected"] = float(
+                sum(1 for r in rejected if r.request_id >= warmup_cutoff)
+            )
+            extras["retries"] = float(retries)
         summary = RunSummary(
             system=server.name,
             offered_rate=self.rate,
             throughput=throughput,
             stats=stats,
         )
+        summary.extras.update(extras)
         return RunResult(summary, stats, server, duration=last)

@@ -1,0 +1,109 @@
+"""Satellite: fault/retry/timeout counters through stats and metrics.
+
+The FaultCounters exposed via ``core.stats.ServerStats`` and
+``repro.metrics`` must reconcile with ground truth: per-request outcome
+lists, per-worker failure tallies, and the load generator's extras.
+"""
+
+import pytest
+
+from tests.chaos_helpers import assert_invariants, build_server, run_chaos
+from repro.faults import DeviceFailure, FaultPlan, RetryPolicy, SLAConfig
+from repro.metrics import FaultCounters
+from repro.workload import LoadGenerator, SequenceDataset
+
+
+class TestFaultCountersUnit:
+    def test_fresh_counters_are_zero(self):
+        counters = FaultCounters()
+        assert not counters.any_faults()
+        assert all(v == 0 for v in counters.as_dict().values())
+
+    def test_as_dict_covers_every_field(self):
+        counters = FaultCounters()
+        assert set(counters.as_dict()) == set(FaultCounters.FIELDS)
+
+    def test_any_faults_flips_on_increment(self):
+        counters = FaultCounters()
+        counters.retries_attempted += 1
+        assert counters.any_faults()
+
+
+def _storm_server(seed=5):
+    plan = FaultPlan(
+        seed=seed,
+        kernel_failure_rate=0.1,
+        straggler_rate=0.1,
+        device_failures=[DeviceFailure(10e-3, 1)],
+    )
+    sla = SLAConfig(default_deadline=40e-3, retry=RetryPolicy(max_retries=2))
+    return build_server(fault_plan=plan, sla=sla, num_gpus=2)
+
+
+class TestCounterReconciliation:
+    def test_counters_match_outcome_lists(self):
+        server = _storm_server()
+        submitted = run_chaos(server, num_requests=250)
+        assert_invariants(server, submitted)  # includes the reconciliation
+        counters = server.fault_counters()
+        assert counters.requests_completed + counters.requests_timed_out + \
+            counters.requests_rejected == len(submitted)
+
+    def test_injection_counts_bound_failure_counts(self):
+        server = _storm_server()
+        run_chaos(server, num_requests=250)
+        counters = server.fault_counters()
+        # Every task failure stems from an injected kernel fault or a lost
+        # device; stragglers never fail tasks.
+        assert counters.tasks_failed >= counters.kernel_failures_injected
+        assert counters.stragglers_injected > 0
+
+    def test_retries_attempted_bounds_request_retry_sum(self):
+        server = _storm_server()
+        submitted = run_chaos(server, num_requests=250)
+        counters = server.fault_counters()
+        total_request_retries = sum(r.retries for r in submitted)
+        # One retried task touches >= 1 request, so the per-request sum is
+        # at least the task-level count (and 0 iff it is 0).
+        assert total_request_retries >= counters.retries_attempted
+        assert (total_request_retries == 0) == (counters.retries_attempted == 0)
+
+    def test_server_stats_surfaces_fault_counters(self):
+        server = _storm_server()
+        run_chaos(server, num_requests=250)
+        stats = server.stats()
+        assert stats.faults == server.fault_counters().as_dict()
+        assert stats.timed_out_requests == len(server.timed_out)
+        assert stats.rejected_requests == len(server.rejected)
+
+    def test_stats_report_mentions_faults_when_present(self):
+        server = _storm_server()
+        run_chaos(server, num_requests=250)
+        report = server.stats().report()
+        assert "faults:" in report
+        assert "retries" in report
+
+    def test_stats_report_silent_on_healthy_run(self):
+        server = build_server()
+        run_chaos(server, num_requests=50)
+        report = server.stats().report()
+        assert "faults:" not in report
+
+    def test_loadgen_extras_reconcile(self):
+        gen = LoadGenerator(
+            rate=3000.0, num_requests=200, seed=7, warmup_fraction=0.0
+        )
+        server = _storm_server()
+        result = gen.run(server, SequenceDataset(seed=1))
+        extras = result.summary.extras
+        assert extras["timed_out"] == len(server.timed_out)
+        assert extras["rejected"] == len(server.rejected)
+        assert extras["retries"] == sum(
+            r.retries for r in server.terminal_requests()
+        )
+
+    def test_loadgen_extras_absent_on_healthy_run(self):
+        gen = LoadGenerator(rate=3000.0, num_requests=100, seed=7)
+        server = build_server()
+        result = gen.run(server, SequenceDataset(seed=1))
+        assert "timed_out" not in result.summary.extras

@@ -1,0 +1,168 @@
+"""Chaos invariants: randomized fault schedules over fixed-seed workloads.
+
+Each test drives a full workload under some fault mix and asserts the
+global invariants in ``chaos_helpers.assert_invariants``: every request
+terminates exactly once, nothing leaks (events, subgraphs, ready counters,
+in-flight tasks), counters reconcile, and deadline-met means deadline-met.
+
+CI fans these out over several seeds via the CHAOS_SEEDS env var.
+"""
+
+import pytest
+
+from tests.chaos_helpers import (
+    assert_invariants,
+    build_server,
+    chaos_seeds,
+    run_chaos,
+)
+from repro.faults import DeviceFailure, FaultPlan, RetryPolicy, SLAConfig
+
+SEEDS = chaos_seeds()
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SEEDS)
+def test_no_faults_healthy_run(seed):
+    server = build_server()
+    submitted = run_chaos(server, arrival_seed=seed)
+    assert_invariants(server, submitted)
+    assert len(server.finished) == len(submitted)
+    assert not server.timed_out and not server.rejected
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kernel_failures_with_retries(seed):
+    plan = FaultPlan(seed=seed, kernel_failure_rate=0.05)
+    server = build_server(fault_plan=plan)
+    submitted = run_chaos(server, arrival_seed=seed)
+    assert_invariants(server, submitted)
+    counters = server.fault_counters()
+    assert counters.kernel_failures_injected > 0
+    assert counters.retries_attempted > 0
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SEEDS)
+def test_heavy_kernel_failures_exhaust_retries(seed):
+    plan = FaultPlan(seed=seed, kernel_failure_rate=0.6)
+    sla = SLAConfig(retry=RetryPolicy(max_retries=1))
+    server = build_server(fault_plan=plan, sla=sla)
+    submitted = run_chaos(server, num_requests=150, arrival_seed=seed)
+    assert_invariants(server, submitted)
+    assert server.timed_out, "60% kernel failure with 1 retry must cancel some"
+    assert all(r.cancel_reason == "retries_exhausted" for r in server.timed_out)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SEEDS)
+def test_stragglers_only(seed):
+    plan = FaultPlan(seed=seed, straggler_rate=0.2, straggler_multiplier=8.0)
+    server = build_server(fault_plan=plan)
+    submitted = run_chaos(server, arrival_seed=seed)
+    assert_invariants(server, submitted)
+    counters = server.fault_counters()
+    assert counters.stragglers_injected > 0
+    assert counters.tasks_failed == 0, "stragglers are slow, not failed"
+    assert len(server.finished) == len(submitted)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SEEDS)
+def test_deadlines_under_stragglers(seed):
+    plan = FaultPlan(seed=seed, straggler_rate=0.3, straggler_multiplier=16.0)
+    sla = SLAConfig(default_deadline=4e-3)
+    server = build_server(fault_plan=plan, sla=sla)
+    submitted = run_chaos(server, rate=6000.0, arrival_seed=seed)
+    assert_invariants(server, submitted)
+    assert server.timed_out, "16x stragglers against a 4ms deadline must kill some"
+    for request in server.timed_out:
+        assert request.cancel_reason == "deadline"
+        assert request.terminal_time == pytest.approx(request.deadline)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SEEDS)
+def test_device_loss_with_survivor(seed):
+    plan = FaultPlan(seed=seed, device_failures=[DeviceFailure(5e-3, 0)])
+    server = build_server(fault_plan=plan, num_gpus=2)
+    submitted = run_chaos(server, arrival_seed=seed)
+    assert_invariants(server, submitted)
+    counters = server.fault_counters()
+    assert counters.device_failures == 1
+    assert not server.manager.workers[0].alive
+    assert server.manager.workers[1].alive
+    assert len(server.finished) == len(submitted), (
+        "with a survivor, device loss alone must not lose requests"
+    )
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SEEDS)
+def test_total_device_loss_cancels_everything(seed):
+    plan = FaultPlan(
+        seed=seed,
+        device_failures=[DeviceFailure(3e-3, 0), DeviceFailure(6e-3, 1)],
+    )
+    server = build_server(fault_plan=plan, num_gpus=2)
+    submitted = run_chaos(server, rate=2000.0, num_requests=200, arrival_seed=seed)
+    assert_invariants(server, submitted)
+    assert not any(w.alive for w in server.manager.workers)
+    # In-flight requests are cancelled ("no_devices"); arrivals after the
+    # last device died are rejected at admission with the same reason.
+    assert server.timed_out, "in-flight requests must be cancelled, not hung"
+    assert server.rejected, "post-loss arrivals must be rejected, not hung"
+    assert all(r.cancel_reason == "no_devices" for r in server.rejected)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SEEDS)
+def test_everything_at_once(seed):
+    """The full storm: kernel failures, stragglers, a device loss, tight
+    deadlines and load shedding, all in one run."""
+    plan = FaultPlan(
+        seed=seed,
+        kernel_failure_rate=0.05,
+        straggler_rate=0.1,
+        straggler_multiplier=6.0,
+        device_failures=[DeviceFailure(8e-3, 1)],
+    )
+    sla = SLAConfig(
+        default_deadline=30e-3,
+        max_queue_delay=20e-3,
+        retry=RetryPolicy(max_retries=2),
+    )
+    server = build_server(fault_plan=plan, sla=sla, num_gpus=2)
+    submitted = run_chaos(server, rate=8000.0, num_requests=400, arrival_seed=seed)
+    assert_invariants(server, submitted)
+    counters = server.fault_counters()
+    assert counters.device_failures == 1
+    assert counters.kernel_failures_injected > 0
+    assert len(server.finished) > 0, "the system must keep making progress"
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fast_path_off_same_invariants(seed):
+    """The brute-force reference scheduler upholds the same invariants
+    under the same storm (and test_faults_determinism holds the two
+    bit-identical)."""
+    plan = FaultPlan(seed=seed, kernel_failure_rate=0.1, straggler_rate=0.1)
+    sla = SLAConfig(default_deadline=50e-3, retry=RetryPolicy(max_retries=2))
+    server = build_server(fault_plan=plan, sla=sla, fast_path=False)
+    submitted = run_chaos(server, num_requests=200, arrival_seed=seed)
+    assert_invariants(server, submitted)
+
+
+@pytest.mark.chaos
+def test_load_shedding_rejects_at_admission():
+    sla = SLAConfig(max_queue_delay=1e-3)
+    server = build_server(sla=sla, max_batch=8)
+    submitted = run_chaos(server, rate=50000.0, num_requests=400)
+    assert_invariants(server, submitted)
+    assert server.rejected, "50k req/s against an 8-batch server must shed"
+    for request in server.rejected:
+        assert request.cancel_reason == "load_shed"
+        assert request.start_time is None, "shed requests never execute"
+        assert request.terminal_time == request.arrival_time

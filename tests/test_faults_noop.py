@@ -1,0 +1,51 @@
+"""Faults disabled = bit-identical to the pre-fault engine.
+
+The hard constraint on the whole fault layer: a server with no plan, a
+no-op plan, or an SLA that never triggers must produce exactly the same
+tasks_submitted, batch histogram and per-request latencies as a plain
+server on the same fixed-seed workload.
+"""
+
+from tests.chaos_helpers import build_server, run_chaos
+from repro.faults import FaultPlan, SLAConfig
+
+
+def _fingerprint(server):
+    return (
+        server.tasks_submitted(),
+        tuple(sorted(server.manager.scheduler.batch_size_counts.items())),
+        tuple(
+            (r.request_id, r.arrival_time, r.start_time, r.finish_time)
+            for r in sorted(server.finished, key=lambda r: r.request_id)
+        ),
+    )
+
+
+def _run(**kwargs):
+    server = build_server(num_gpus=2, **kwargs)
+    run_chaos(server, rate=4000.0, num_requests=300)
+    return _fingerprint(server)
+
+
+def test_noop_plan_bit_identical_to_no_plan():
+    assert _run(fault_plan=FaultPlan(seed=123)) == _run()
+
+
+def test_inert_sla_bit_identical_to_no_sla():
+    # Deadlines far beyond the run horizon and no shedding threshold: the
+    # timers arm and disarm but never fire, and admission never rejects.
+    assert _run(sla=SLAConfig(default_deadline=1e6)) == _run()
+
+
+def test_noop_plan_is_nulled_out():
+    server = build_server(fault_plan=FaultPlan(seed=123))
+    assert server.manager.fault_plan is None, (
+        "a plan that can never inject must cost nothing per task"
+    )
+
+
+def test_plan_and_inert_sla_combined_still_identical():
+    combined = _run(
+        fault_plan=FaultPlan(seed=9), sla=SLAConfig(default_deadline=1e6)
+    )
+    assert combined == _run()

@@ -176,3 +176,105 @@ class TestRun:
         loop.run()
         assert seen == [0, 1, 2, 3, 4]
         assert loop.now() == 4.0
+
+
+class TestCancelDuringDrain:
+    """Regression tests for cancel/fire interleavings while the loop drains.
+
+    The fault-injection layer cancels events aggressively (timeout handles
+    on request completion, in-flight completions on device loss), often from
+    callbacks running inside ``run()`` at the same virtual time as the event
+    being cancelled.  ``pending()`` must stay exact through all of it.
+    """
+
+    def test_cancel_already_fired_event_during_drain_is_a_noop(self):
+        loop = EventLoop()
+        first = loop.call_at(1.0, lambda: None)
+        # Fires after `first` at the same time and cancels it retroactively.
+        loop.call_at(1.0, lambda: first.cancel())
+        tail = loop.call_at(2.0, lambda: None)
+        loop.run(until=1.0)
+        # `first` fired, then was "cancelled": only `tail` is pending.
+        assert first.fired and not first.cancelled
+        assert loop.pending() == 1 == loop.recount_pending()
+        loop.run()
+        assert loop.pending() == 0 == loop.recount_pending()
+
+    def test_cancel_of_fired_event_reports_no_effect(self):
+        loop = EventLoop()
+        event = loop.call_at(1.0, lambda: None)
+        loop.run()
+        assert event.fired
+        assert event.cancel() is False
+        assert loop.pending() == 0 == loop.recount_pending()
+
+    def test_cancel_of_pending_event_reports_effect_exactly_once(self):
+        loop = EventLoop()
+        event = loop.call_at(1.0, lambda: None)
+        assert event.cancel() is True
+        assert event.cancel() is False  # second cancel: no-op
+        assert loop.pending() == 0 == loop.recount_pending()
+
+    def test_callback_cancelling_its_own_event_does_not_double_decrement(self):
+        loop = EventLoop()
+        handle = []
+
+        def self_cancel():
+            # A timeout handler naively cancelling its own handle.
+            assert handle[0].cancel() is False
+
+        handle.append(loop.call_at(1.0, self_cancel))
+        loop.call_at(2.0, lambda: None)
+        loop.run()
+        assert loop.pending() == 0 == loop.recount_pending()
+
+    def test_mutual_cancellation_at_same_timestamp(self):
+        """Two same-time events each try to cancel the other: exactly one
+        callback runs, exactly one cancel takes effect."""
+        loop = EventLoop()
+        ran = []
+        events = {}
+
+        def make(name, other):
+            def cb():
+                ran.append(name)
+                events[other].cancel()
+            return cb
+
+        events["a"] = loop.call_at(1.0, make("a", "b"))
+        events["b"] = loop.call_at(1.0, make("b", "a"))
+        loop.run()
+        assert ran == ["a"]
+        assert events["b"].cancelled and not events["b"].fired
+        assert loop.pending() == 0 == loop.recount_pending()
+
+    def test_cancel_during_drain_storm_keeps_counter_exact(self):
+        """Property-style sweep: a driver event at each tick cancels an
+        arbitrary mix of fired, pending and already-cancelled events; the
+        O(1) counter must match a brute-force heap recount throughout."""
+        loop = EventLoop()
+        targets = [loop.call_at(float(t), lambda: None) for t in range(0, 20, 2)]
+
+        def chaos(i):
+            # Cancel one fired, one pending and one arbitrary target.
+            for j in (i - 1, i + 1, (i * 7) % len(targets)):
+                if 0 <= j < len(targets):
+                    targets[j].cancel()
+            assert loop.pending() == loop.recount_pending()
+
+        for i in range(len(targets)):
+            loop.call_at(float(2 * i) + 0.5, lambda i=i: chaos(i))
+        loop.run()
+        assert loop.pending() == 0 == loop.recount_pending()
+
+    def test_peek_time_after_head_cancel_during_drain(self):
+        loop = EventLoop()
+        seen = []
+        second = loop.call_at(2.0, lambda: seen.append(2))
+        third = loop.call_at(3.0, lambda: seen.append(3))
+        loop.call_at(1.0, lambda: second.cancel())
+        loop.run(until=1.0)
+        assert loop.peek_time() == 3.0
+        assert loop.pending() == 1 == loop.recount_pending()
+        loop.run()
+        assert seen == [3]
