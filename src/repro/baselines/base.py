@@ -9,10 +9,10 @@ cellular batching removes (no joining, no early leaving).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.request import InferenceRequest
-from repro.gpu.device import GPUDevice
+from repro.gpu.device import make_devices
 from repro.models.base import Model
 from repro.server import InferenceServer
 from repro.sim.events import EventLoop
@@ -29,13 +29,11 @@ class GraphBatchingServer(InferenceServer):
         num_gpus: int = 1,
     ):
         super().__init__(loop, name)
-        if num_gpus < 1:
-            raise ValueError("need at least one GPU")
         self.model = model
         self.cost_model = model.default_cost_model()
-        self.devices = [GPUDevice(loop, device_id=i) for i in range(num_gpus)]
+        self.devices = make_devices(loop, num_gpus)
         self._device_busy = [False] * num_gpus
-        self._dispatch_pending = False
+        self._dispatch = self.deferred_kicker(self._dispatch_idle_devices)
         self.batches_executed = 0
         self.batch_sizes: List[int] = []
 
@@ -57,13 +55,11 @@ class GraphBatchingServer(InferenceServer):
         # Defer dispatch to the end of the current timestamp so that
         # simultaneously-arriving requests land in one batch rather than the
         # first of them grabbing an idle device alone.
-        if not self._dispatch_pending:
-            self._dispatch_pending = True
-            self.loop.call_soon(self._deferred_dispatch)
+        self._dispatch.kick()
 
     def _deferred_dispatch(self) -> None:
-        self._dispatch_pending = False
-        self._dispatch_idle_devices()
+        # Retained entry point for timer-driven wake-ups (TimeoutPaddedServer).
+        self._dispatch.fire()
 
     def _dispatch_idle_devices(self) -> None:
         for device_id, device in enumerate(self.devices):

@@ -29,6 +29,7 @@ from repro.baselines.base import GraphBatchingServer
 from repro.core.cell_graph import CellGraph
 from repro.core.request import InferenceRequest
 from repro.models.base import Model
+from repro.server import ensure_loop
 from repro.sim.events import EventLoop
 
 
@@ -70,7 +71,7 @@ class FoldServer(GraphBatchingServer):
         if max_requests < 1:
             raise ValueError("max_requests must be >= 1")
         super().__init__(
-            loop if loop is not None else EventLoop(), name, model, num_gpus
+            ensure_loop(loop), name, model, num_gpus
         )
         self.max_requests = max_requests
         self.merge_overhead_per_request = merge_overhead_per_request

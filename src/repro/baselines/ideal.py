@@ -15,6 +15,7 @@ from repro.baselines.base import GraphBatchingServer
 from repro.core.cell_graph import CellGraph
 from repro.core.request import InferenceRequest
 from repro.models.base import Model
+from repro.server import ensure_loop
 from repro.sim.events import EventLoop
 
 
@@ -38,7 +39,7 @@ class IdealServer(GraphBatchingServer):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         super().__init__(
-            loop if loop is not None else EventLoop(), name, model, num_gpus
+            ensure_loop(loop), name, model, num_gpus
         )
         self.max_batch = max_batch
         template = CellGraph()

@@ -21,11 +21,12 @@ pad each phase to its own ceiling.
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.baselines.base import GraphBatchingServer
 from repro.core.request import InferenceRequest
 from repro.models.base import Model
+from repro.server import ensure_loop
 from repro.sim.events import EventLoop
 
 
@@ -48,7 +49,7 @@ class PaddedServer(GraphBatchingServer):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         super().__init__(
-            loop if loop is not None else EventLoop(),
+            ensure_loop(loop),
             name if name is not None else f"Padded(bw={bucket_width})",
             model,
             num_gpus,

@@ -29,9 +29,17 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 DEFAULT_DEPTHS = (250, 1000, 4000)
 SMOKE_DEPTHS = (250, 1000)
+# Policy bundles timed by bench_policy_overhead: decision rate of the
+# default Algorithm 1 bundle vs swapped-in variants at one queue depth.
+POLICY_VARIANTS = (
+    ("paper", {}),
+    ("flat_priority", {"priority": "flat"}),
+    ("longest_queue", {"priority": "longest_queue"}),
+    ("no_mix", {"formation": "no_mix"}),
+)
 # Pinned-elsewhere fraction / worker count for the loaded-queue shape.
 BENCH_WORKERS = 8
 CHAIN_LENGTH = 32
@@ -43,7 +51,7 @@ class _BenchWorker:
         self.worker_id = worker_id
 
 
-def _build_loaded_scheduler(fast_path: bool, depth: int):
+def _build_loaded_scheduler(fast_path: bool, depth: int, policies=None):
     """A scheduler whose single queue holds ``depth`` chain subgraphs, 7/8
     of them pinned to workers other than the one we schedule for."""
     from repro.core.cell_graph import CellGraph
@@ -60,7 +68,9 @@ def _build_loaded_scheduler(fast_path: bool, depth: int):
     config = BatchingConfig.with_max_batch(
         4, max_tasks_to_submit=1, fast_path=fast_path
     )
-    scheduler = Scheduler(config, submit=lambda task, worker: None)
+    if policies is not None:
+        policies.placement.prepare(BENCH_WORKERS)
+    scheduler = Scheduler(config, submit=lambda task, worker: None, policies=policies)
     for cell_type in model.cell_types():
         scheduler.register_cell_type(cell_type)
     for rid in range(depth):
@@ -90,10 +100,12 @@ def _time_decisions(scheduler, max_seconds: float, max_decisions: int) -> Dict:
         if time.perf_counter() - start >= max_seconds:
             break
     elapsed = time.perf_counter() - start
+    rate = decisions / elapsed if elapsed > 0 else 0.0
     return {
         "decisions": decisions,
         "seconds": elapsed,
-        "decisions_per_sec": decisions / elapsed if elapsed > 0 else 0.0,
+        "decisions_per_sec": rate,
+        "us_per_decision": 1e6 / rate if rate > 0 else None,
     }
 
 
@@ -120,6 +132,40 @@ def bench_scheduler(
             "brute_force": brute,
             "speedup": speedup,
         }
+    return results
+
+
+def bench_policy_overhead(
+    depth: int = 1000, max_seconds: float = 2.0, max_decisions: int = 1000
+) -> Dict[str, Dict]:
+    """Scheduler-decision cost through the policy layer.
+
+    Times the default Algorithm 1 bundle and each swapped variant on the
+    same loaded queue (fast path).  ``vs_paper`` is the decision-rate
+    ratio against the default bundle — the per-decision overhead (or
+    saving) a policy swap costs.  The 2x regression gate stays on the
+    ``scheduler.*.fast`` numbers, which compare the default bundle
+    against the committed pre-policy-layer baseline.
+    """
+    from repro.core.config import BatchingConfig
+    from repro.policies import bundle_from_names
+
+    config = BatchingConfig.with_max_batch(4, max_tasks_to_submit=1)
+    results: Dict[str, Dict] = {}
+    paper_rate = None
+    for name, overrides in POLICY_VARIANTS:
+        bundle = bundle_from_names(config, **overrides)
+        timing = _time_decisions(
+            _build_loaded_scheduler(True, depth, policies=bundle),
+            max_seconds,
+            max_decisions,
+        )
+        if name == "paper":
+            paper_rate = timing["decisions_per_sec"]
+        timing["vs_paper"] = (
+            timing["decisions_per_sec"] / paper_rate if paper_rate else None
+        )
+        results[name] = {"queue_depth": depth, **timing}
     return results
 
 
@@ -188,6 +234,10 @@ def run_engine_bench(smoke: bool = False, jobs: int = 2) -> Dict:
             "cpu_count": os.cpu_count(),
         },
         "scheduler": bench_scheduler(depths, max_decisions=max_decisions),
+        "policies": bench_policy_overhead(
+            depth=SMOKE_DEPTHS[-1] if smoke else 1000,
+            max_decisions=250 if smoke else 1000,
+        ),
     }
     if not smoke:
         bench["fig7_quick"] = bench_fig7_quick(jobs=jobs)
@@ -223,6 +273,16 @@ def _print_report(bench: Dict) -> None:
             f"brute {entry['brute_force']['decisions_per_sec']:,.0f} dec/s, "
             f"speedup {entry['speedup']:.1f}x"
         )
+    policies = bench.get("policies", {})
+    if policies:
+        depth = next(iter(policies.values()))["queue_depth"]
+        parts = [
+            f"{name} {entry['us_per_decision']:.1f} us/dec"
+            + (f" ({entry['vs_paper']:.2f}x)" if name != "paper" else "")
+            for name, entry in policies.items()
+            if entry["us_per_decision"] is not None
+        ]
+        print(f"policy bundles @depth {depth}: " + ", ".join(parts))
     fig7 = bench.get("fig7_quick")
     if fig7:
         par = (

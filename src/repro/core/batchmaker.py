@@ -13,7 +13,7 @@ from repro.core.config import BatchingConfig
 from repro.core.manager import Manager
 from repro.core.request import InferenceRequest
 from repro.gpu.costmodel import CostModel
-from repro.server import InferenceServer
+from repro.server import InferenceServer, ensure_loop
 from repro.sim.events import EventLoop
 
 if TYPE_CHECKING:  # avoids a circular import (models depend on core)
@@ -45,6 +45,12 @@ class BatchMakerServer(InferenceServer):
         Optional :class:`~repro.faults.SLAConfig`: default deadlines,
         retry/backoff policy and load shedding.  Both default to None,
         in which case the server is bit-identical to the pre-fault engine.
+    policies:
+        Optional :class:`~repro.policies.PolicyBundle` overriding the
+        scheduling policies (queue priority, placement, batch formation).
+        Defaults to the paper's Algorithm 1 derived from ``config``; an
+        explicit bundle takes precedence over ``config.pinning`` /
+        ``config.fast_path``.
     """
 
     def __init__(
@@ -58,8 +64,9 @@ class BatchMakerServer(InferenceServer):
         name: str = "BatchMaker",
         fault_plan=None,
         sla=None,
+        policies=None,
     ):
-        super().__init__(loop if loop is not None else EventLoop(), name)
+        super().__init__(ensure_loop(loop), name)
         if cost_model is None:
             cost_model = model.default_cost_model()
         self.model = model
@@ -76,7 +83,9 @@ class BatchMakerServer(InferenceServer):
             sla=sla,
             on_request_timed_out=self.timed_out.append,
             on_request_rejected=self.rejected.append,
+            policies=policies,
         )
+        self.policies = self.manager.policies
 
     def _accept(self, request: InferenceRequest) -> None:
         self.manager.submit_request(request)

@@ -42,6 +42,24 @@ class CellTypeConfig:
     def min_batch(self) -> int:
         return self.batch_sizes[0]
 
+    def to_dict(self) -> Dict:
+        """Plain-data form for :mod:`repro.registry` specs."""
+        return {"batch_sizes": list(self.batch_sizes), "priority": self.priority}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CellTypeConfig":
+        return cls(
+            batch_sizes=data.get("batch_sizes", cls().batch_sizes),
+            priority=data.get("priority", 0),
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CellTypeConfig)
+            and self.batch_sizes == other.batch_sizes
+            and self.priority == other.priority
+        )
+
     def __repr__(self) -> str:
         return (
             f"CellTypeConfig(max={self.max_batch}, min={self.min_batch}, "
@@ -127,3 +145,32 @@ class BatchingConfig:
 
     def for_cell(self, cell_name: str) -> CellTypeConfig:
         return self.per_cell.get(cell_name, self.default)
+
+    def to_dict(self) -> Dict:
+        """Plain-data form for :mod:`repro.registry` specs (exact
+        round-trip through :meth:`from_dict`)."""
+        return {
+            "default": self.default.to_dict(),
+            "per_cell": {
+                name: cfg.to_dict() for name, cfg in sorted(self.per_cell.items())
+            },
+            "max_tasks_to_submit": self.max_tasks_to_submit,
+            "pinning": self.pinning,
+            "fast_path": self.fast_path,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BatchingConfig":
+        return cls(
+            default=CellTypeConfig.from_dict(data.get("default", {})),
+            per_cell={
+                name: CellTypeConfig.from_dict(cfg)
+                for name, cfg in data.get("per_cell", {}).items()
+            },
+            max_tasks_to_submit=data.get("max_tasks_to_submit", 5),
+            pinning=data.get("pinning", True),
+            fast_path=data.get("fast_path", True),
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BatchingConfig) and self.to_dict() == other.to_dict()

@@ -31,14 +31,15 @@ from repro.core.config import BatchingConfig
 from repro.core.request import InferenceRequest
 from repro.core.request_processor import RequestProcessor
 from repro.core.scheduler import Scheduler
-from repro.core.subgraph import Subgraph
 from repro.core.task import BatchedTask
 from repro.core.worker import Worker
 from repro.faults.plan import FaultPlan, KERNEL_FAIL, STRAGGLER
 from repro.faults.sla import RetryPolicy, SLAConfig
 from repro.gpu.costmodel import CostModel
-from repro.gpu.device import GPUDevice
+from repro.gpu.device import make_devices
 from repro.metrics.counters import FaultCounters
+from repro.policies import PolicyBundle
+from repro.server import DeferredKick
 from repro.sim.events import EventLoop
 
 if TYPE_CHECKING:  # avoids a circular import (models depend on core)
@@ -61,6 +62,7 @@ class Manager:
         sla: Optional[SLAConfig] = None,
         on_request_timed_out: Optional[Callable[[InferenceRequest], None]] = None,
         on_request_rejected: Optional[Callable[[InferenceRequest], None]] = None,
+        policies: Optional[PolicyBundle] = None,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -85,7 +87,13 @@ class Manager:
         # queueing delay used by load shedding.
         self._node_time_estimate = 0.0
 
-        self.scheduler = Scheduler(config, submit=self._submit_task)
+        self.policies = (
+            policies if policies is not None else PolicyBundle.from_config(config)
+        )
+        self.policies.placement.prepare(num_workers)
+        self.scheduler = Scheduler(
+            config, submit=self._submit_task, policies=self.policies
+        )
         for cell_type in model.cell_types():
             self.scheduler.register_cell_type(cell_type)
 
@@ -96,22 +104,23 @@ class Manager:
             collect_results=real_compute,
         )
 
-        self.workers: List[Worker] = []
-        for i in range(num_workers):
-            device = GPUDevice(loop, device_id=i)
-            self.workers.append(
-                Worker(
-                    worker_id=i,
-                    device=device,
-                    cost_model=cost_model,
-                    loop=loop,
-                    on_task_complete=self._task_complete,
-                    real_compute=real_compute,
-                    on_task_failed=self._task_failed,
-                )
+        self.workers: List[Worker] = [
+            Worker(
+                worker_id=device.device_id,
+                device=device,
+                cost_model=cost_model,
+                loop=loop,
+                on_task_complete=self._task_complete,
+                real_compute=real_compute,
+                on_task_failed=self._task_failed,
             )
+            for device in make_devices(loop, num_workers)
+        ]
         self.finished_requests: List[InferenceRequest] = []
-        self._poke_pending = False
+        # Same coalesced end-of-timestamp dispatch the graph-batching
+        # baselines use (repro.server.DeferredKick): simultaneous arrivals
+        # batch together instead of the first grabbing an idle worker alone.
+        self._poke = DeferredKick(loop, self._poke_idle_workers)
 
         if self.fault_plan is not None:
             for failure in self.fault_plan.device_failures():
@@ -159,13 +168,7 @@ class Manager:
                 lambda: self._deadline_expired(request),
             )
         self.processor.add_request(request)
-        if not self._poke_pending:
-            self._poke_pending = True
-            self.loop.call_soon(self._deferred_poke)
-
-    def _deferred_poke(self) -> None:
-        self._poke_pending = False
-        self._poke_idle_workers()
+        self._poke.kick()
 
     # -- SLA: admission control ---------------------------------------------
 
@@ -218,17 +221,9 @@ class Manager:
         return fault
 
     def _migration_cost(self, task: BatchedTask, worker: Worker) -> float:
-        """Cross-device copy cost for subgraphs whose live state sits on a
-        different GPU — zero under pinning, which is the point of pinning."""
-        cost = 0.0
-        hidden_bytes = 2 * 1024 * 4  # h and c vectors at h=1024, fp32
-        for subgraph in task.subgraphs():
-            if (
-                subgraph.last_worker is not None
-                and subgraph.last_worker != worker.worker_id
-            ):
-                cost += worker.device.copy_cost(hidden_bytes)
-        return cost
+        """Cross-device copy cost (placement policy) — zero under pinning,
+        which is the point of pinning."""
+        return self.policies.placement.migration_cost(task, worker)
 
     # -- worker -> manager ---------------------------------------------------
 
@@ -293,24 +288,16 @@ class Manager:
         # Cross-device copy cost applies when the retry lands on a different
         # GPU than the one holding the subgraphs' live state.
         extra = self._migration_cost(task, target)
-        if self.config.pinning:
-            for sg in task.subgraphs():
-                sg.repin(target.worker_id)
+        self.policies.placement.on_retry(task, target)
         for sg in task.subgraphs():
             sg.last_worker = target.worker_id
         self.scheduler.resubmit(task)
         target.submit(task, extra_cost=extra, fault=self._draw_fault(task))
 
     def _retry_target(self, task: BatchedTask) -> Optional[Worker]:
-        """Deterministic retry placement: the original worker when it still
-        lives, else the first surviving worker after it in id order."""
-        origin = task.worker_id if task.worker_id is not None else 0
-        n = len(self.workers)
-        for offset in range(n):
-            worker = self.workers[(origin + offset) % n]
-            if worker.alive:
-                return worker
-        return None
+        """Retry placement (placement policy): by default the original
+        worker when it still lives, else the first survivor after it."""
+        return self.policies.placement.retry_target(task, self.workers)
 
     def _device_failed(self, worker: Worker) -> None:
         """A device dropped out of the fault plan's sky."""
@@ -320,6 +307,7 @@ class Manager:
         # Failing the device fails its in-flight tasks (in submission
         # order), which individually enter the retry path above.
         worker.fail_device()
+        self.policies.placement.on_device_failed(worker.worker_id)
         # Queued subgraphs pinned to the dead device migrate to the first
         # survivor (the same deterministic choice the retries make), so
         # their remaining cells stay schedulable.
@@ -333,12 +321,9 @@ class Manager:
                 self._cancel_request(request, reason="no_devices")
 
     def _replacement_for(self, dead_worker_id: int) -> Optional[Worker]:
-        n = len(self.workers)
-        for offset in range(1, n + 1):
-            worker = self.workers[(dead_worker_id + offset) % n]
-            if worker.alive:
-                return worker
-        return None
+        return self.policies.placement.replacement_for(
+            dead_worker_id, self.workers
+        )
 
     # -- SLA: deadlines and cancellation ------------------------------------
 

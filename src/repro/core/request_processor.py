@@ -9,7 +9,7 @@ returns a request the moment its last cell finishes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Set
 
 from repro.core.cell_graph import CellGraph
 from repro.core.request import InferenceRequest

@@ -1,11 +1,15 @@
 """The batching scheduler — the paper's Algorithm 1.
 
 One :class:`CellTypeQueue` per cell type holds released subgraphs in FIFO
-order.  ``schedule(worker)`` picks a cell type by the paper's three-tier
-criterion, then ``_batch`` forms and submits up to ``MaxTasksToSubmit``
-batched tasks to that worker, pinning the touched subgraphs so that
-dependent follow-up tasks stay on the same device (whose FIFO stream order
-then satisfies their dependencies without waiting for completions).
+order.  ``schedule(worker)`` picks a cell type via the bundle's
+:class:`~repro.policies.QueuePriorityPolicy` (the paper's three-tier
+criterion by default), then ``_batch`` forms (via the bundle's
+:class:`~repro.policies.BatchFormationPolicy`) and submits up to
+``MaxTasksToSubmit`` batched tasks to that worker, binding the touched
+subgraphs through the :class:`~repro.policies.PlacementPolicy` — pinned by
+default, so dependent follow-up tasks stay on the same device (whose FIFO
+stream order then satisfies their dependencies without waiting for
+completions).
 
 Hot-path complexity
 -------------------
@@ -36,6 +40,8 @@ from repro.core.cell import CellType
 from repro.core.config import BatchingConfig, CellTypeConfig
 from repro.core.subgraph import Subgraph
 from repro.core.task import BatchedTask
+from repro.policies import PolicyBundle
+from repro.policies.defaults import PaperBatchFormation
 
 
 class CellTypeQueue:
@@ -174,15 +180,27 @@ class CellTypeQueue:
 
 
 class Scheduler:
-    """Forms batched tasks and assigns them to workers (paper Algorithm 1)."""
+    """Forms batched tasks and assigns them to workers (paper Algorithm 1).
+
+    The three *decisions* — which queue to serve, which nodes to batch,
+    where a subgraph's work binds — live in a
+    :class:`~repro.policies.PolicyBundle`; this class owns the mechanism
+    (queues, counters, task construction, accounting).  When no bundle is
+    given, the paper's defaults are derived from ``config`` (pinning and
+    fast-path flags), reproducing the pre-policy-layer engine bit for bit.
+    """
 
     def __init__(
         self,
         config: BatchingConfig,
         submit: Callable[[BatchedTask, "object"], None],
+        policies: Optional[PolicyBundle] = None,
     ):
         self.config = config
         self.fast_path = getattr(config, "fast_path", True)
+        self.policies = (
+            policies if policies is not None else PolicyBundle.from_config(config)
+        )
         self._submit = submit
         self._queues: Dict[str, CellTypeQueue] = {}
         self._queue_list: Tuple[CellTypeQueue, ...] = ()
@@ -210,44 +228,25 @@ class Scheduler:
             raise KeyError(
                 f"subgraph of unregistered cell type {sg.cell_type_name!r}"
             )
-        sg.optimistic = self.config.pinning
+        self.policies.placement.on_admit(sg)
         self._queues[sg.cell_type_name].add(sg)
 
     # -- Algorithm 1 ----------------------------------------------------------
 
     def schedule(self, worker) -> int:
-        """Pick a cell type for ``worker`` and submit batched tasks.
-
-        Selection order (Algorithm 1, lines 5-10): (a) cell types with at
-        least a full maximum batch of ready nodes; else (b) cell types with
-        ready nodes and no running tasks; else (c) any cell type with ready
-        nodes.  Ties break by priority, then by name for determinism.
-        Returns the number of tasks submitted.
-        """
-        queues = self._queue_list
-        candidates = [
-            q for q in queues if q.num_ready_nodes() >= q.config.max_batch
-        ]
-        if not candidates:
-            candidates = [
-                q
-                for q in queues
-                if q.running_tasks == 0 and q.num_ready_nodes() > 0
-            ]
-        if not candidates:
-            candidates = [q for q in queues if q.num_ready_nodes() > 0]
-        if not candidates:
+        """Pick a cell type for ``worker`` (the bundle's queue-priority
+        policy; the paper's three-tier criterion by default) and submit
+        batched tasks.  Returns the number of tasks submitted."""
+        chosen = self.policies.priority.select(self._queue_list)
+        if chosen is None:
             return 0
-        chosen = max(
-            candidates, key=lambda q: (q.config.priority, q.cell_type.name)
-        )
         return self._batch(chosen, worker)
 
     def _batch(self, queue: CellTypeQueue, worker) -> int:
         """Algorithm 1's ``Batch``: submit up to MaxTasksToSubmit tasks."""
         num_tasks = 0
         while num_tasks < self.config.max_tasks_to_submit:
-            plan = self._form_batched_task(queue, worker)
+            plan = self.policies.formation.form(queue, worker)
             batch_size = sum(count for _, count in plan)
             if batch_size == 0:
                 break
@@ -261,45 +260,15 @@ class Scheduler:
     def _form_batched_task(
         self, queue: CellTypeQueue, worker
     ) -> List[Tuple[Subgraph, int]]:
-        """Algorithm 1's ``FormBatchedTask``: plan (without committing) how
-        many ready nodes to take from each eligible subgraph, scanning in
-        FIFO order until the maximum batch size is reached."""
-        if not self.fast_path:
-            return self._form_batched_task_reference(queue, worker)
-        plan: List[Tuple[Subgraph, int]] = []
-        budget = queue.config.max_batch
-        while budget > 0:
-            sg = queue.pop_eligible(worker.worker_id)
-            if sg is None:
-                break
-            take = min(sg.ready_count(), budget)
-            plan.append((sg, take))
-            budget -= take
-        # Planning must not mutate queue state (the caller may decline the
-        # plan under the min-batch rule), so restore every popped entry;
-        # ``queue_seq`` keys keep the FIFO order intact.
-        for sg, _ in plan:
-            queue.reinsert(sg)
-        return plan
+        """The bundle's ``FormBatchedTask`` (kept as a seam for the
+        invariant tests)."""
+        return self.policies.formation.form(queue, worker)
 
     def _form_batched_task_reference(
         self, queue: CellTypeQueue, worker
     ) -> List[Tuple[Subgraph, int]]:
-        """Brute-force reference: full FIFO scan past ineligible subgraphs
-        (the pre-optimisation implementation, kept for the equivalence test
-        and as the benchmark baseline)."""
-        plan: List[Tuple[Subgraph, int]] = []
-        budget = queue.config.max_batch
-        for sg in queue.subgraphs.values():
-            if budget == 0:
-                break
-            if sg.pinned is not None and sg.pinned != worker.worker_id:
-                continue
-            take = min(sg.ready_count(), budget)
-            if take > 0:
-                plan.append((sg, take))
-                budget -= take
-        return plan
+        """Brute-force reference plan, regardless of the active bundle."""
+        return PaperBatchFormation(fast_path=False).form(queue, worker)
 
     def _commit(
         self,
@@ -308,7 +277,8 @@ class Scheduler:
         plan: List[Tuple[Subgraph, int]],
     ) -> None:
         """Materialise a planned batch: pop the ready nodes, build the task,
-        pin subgraphs, update (optimistic) dependencies, and submit."""
+        bind subgraphs to the worker (placement policy), update
+        (optimistic) dependencies, and submit."""
         entries = []
         for sg, count in plan:
             node_ids = sg.take_ready(count)
@@ -319,13 +289,11 @@ class Scheduler:
                 )
             for nid in node_ids:
                 entries.append((sg, sg.graph.node(nid)))
-            if self.config.pinning:
-                sg.pin(worker.worker_id)
-            else:
-                sg.inflight += 1
+            self.policies.placement.bind(sg, worker.worker_id)
             sg.mark_submitted(node_ids)
             if sg.exhausted():
                 queue.remove(sg)
+                self.policies.formation.on_subgraph_removed(queue, sg)
         task = BatchedTask(self._next_task_id, queue.cell_type, entries)
         self._next_task_id += 1
         queue.running_tasks += 1
@@ -340,13 +308,16 @@ class Scheduler:
         is still queued.  ``CellTypeQueue.remove`` gives the ready counter
         back and clears the owner, so the lazy heap entries left behind are
         recognised as stale and discarded on pop — the fast path stays
-        bit-identical to a brute-force rescan.  Returns how many subgraphs
-        were evicted."""
+        bit-identical to a brute-force rescan.  The formation policy's
+        ``on_subgraph_removed`` hook fires for each eviction so bundles
+        keeping their own eligibility indexes stay consistent.  Returns how
+        many subgraphs were evicted."""
         evicted = 0
         for sg in request.subgraphs.values():
             owner = sg.owner
             if owner is not None:
                 owner.remove(sg)
+                self.policies.formation.on_subgraph_removed(owner, sg)
                 evicted += 1
         return evicted
 
@@ -358,14 +329,18 @@ class Scheduler:
         self._queues[task.cell_type.name].running_tasks += 1
 
     def repin_queued(self, dead_worker_id: int, replacement: Optional[int]) -> int:
-        """A device died: migrate every queued subgraph pinned to it to
-        ``replacement`` (or unpin when None).  O(queued subgraphs), which is
-        fine for the rare device-loss path.  Returns how many moved."""
+        """A device died: migrate every queued subgraph pinned to it to the
+        placement policy's choice (``replacement`` under the default
+        policies; unpin when None).  O(queued subgraphs), which is fine for
+        the rare device-loss path.  Returns how many moved."""
+        placement = self.policies.placement
         moved = 0
         for queue in self._queue_list:
             for sg in queue.subgraphs.values():
                 if sg.pinned == dead_worker_id:
-                    sg.repin(replacement)
+                    sg.repin(
+                        placement.repin_target(sg, dead_worker_id, replacement)
+                    )
                     moved += 1
         return moved
 

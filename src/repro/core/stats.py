@@ -8,7 +8,7 @@ would expose.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.metrics.latency import LatencyStats
 from repro.metrics.summary import format_table

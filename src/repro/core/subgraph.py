@@ -67,6 +67,10 @@ class Subgraph:
         self.uncompleted = len(self.node_ids)
         self.pinned: Optional[int] = None
         self.inflight = 0
+        # A sticky pin survives the inflight count returning to zero —
+        # static placement policies (repro.policies.FixedPlacement) use it
+        # to keep a subgraph's home for life.
+        self.sticky = False
         self.released = False
         # Owning CellTypeQueue while enqueued: receives incremental
         # ready-count deltas and pin transitions so the scheduler never has
@@ -190,7 +194,7 @@ class Subgraph:
         self.inflight -= 1
         if self.inflight < 0 or self.uncompleted < 0:
             raise RuntimeError(f"subgraph {self.subgraph_id}: completion underflow")
-        if self.inflight == 0 and self.pinned is not None:
+        if self.inflight == 0 and self.pinned is not None and not self.sticky:
             self.pinned = None
             if self.owner is not None:
                 self.owner.on_pin_changed(self)

@@ -16,7 +16,7 @@ in-flight completion and fails the corresponding tasks immediately.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.core.task import BatchedTask
 from repro.faults.plan import KERNEL_FAIL, STRAGGLER, TaskFault

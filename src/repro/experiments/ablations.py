@@ -1,28 +1,33 @@
-"""Ablations of BatchMaker's design choices (DESIGN.md §5).
+"""Ablations of BatchMaker's design choices (DESIGN.md §5, §10).
 
 Not figures from the paper, but quantifications of the mechanisms the paper
-argues for:
+argues for.  Every server here is built through :mod:`repro.registry`, and
+every mechanism ablation is a *policy swap* (see :mod:`repro.policies`) —
+the engine code has no ablation forks:
 
 * **MaxTasksToSubmit** — §7.3 bounds new-request queuing by
   MaxTasksToSubmit x per-step time; larger values trade join latency for
   fewer scheduling rounds.
 * **Subgraph pinning** — §4.3 pins subgraphs to workers for locality; the
-  ablation disables pinning (dependencies then advance on completion, and
-  cross-GPU copies are charged).
+  ablation swaps in the ``unpinned`` placement policy (dependencies then
+  advance on completion, and cross-GPU copies are charged).
 * **Per-task overhead** — §7.3 measures ~65 us of scheduling+gather per
   task; sweeping it shows how close BatchMaker gets to ideal throughput.
-* **Priority** — decoder-priority vs flat priority for Seq2Seq.
+* **Priority** — decoder-priority (``paper`` queue policy + configured
+  priorities) vs the ``flat`` queue policy for Seq2Seq.
+* **Policy breakdown** — a Figure-9-style table knocking out one policy
+  at a time (priority off, locality off, fixed placement) on Seq2Seq
+  near saturation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
-from repro.core import BatchMakerServer, BatchingConfig
 from repro.experiments import common
 from repro.gpu.costmodel import CostModel, v100_lstm_step_table
 from repro.metrics.summary import format_table
-from repro.models import LSTMChainModel, Seq2SeqModel
+from repro.registry import build_server, presets
 from repro.workload import Seq2SeqDataset, SequenceDataset
 
 
@@ -32,13 +37,13 @@ def max_tasks_sweep(quick: bool = False) -> List[Dict]:
     num = 3000 if quick else 12000
     rows = []
     for limit in (1, 2, 5, 10, 20):
-        server = BatchMakerServer(
-            LSTMChainModel(),
-            config=BatchingConfig.with_max_batch(512, max_tasks_to_submit=limit),
+        spec = presets.lstm_batchmaker_spec()
+        spec = spec.replace(
+            config={**spec.config, "max_tasks_to_submit": limit},
             name=f"BM(mts={limit})",
         )
         summary = common.run_point(
-            server, lambda: SequenceDataset(seed=1), rate, num
+            build_server(spec), lambda: SequenceDataset(seed=1), rate, num
         )
         rows.append(
             {
@@ -52,19 +57,18 @@ def max_tasks_sweep(quick: bool = False) -> List[Dict]:
 
 
 def pinning_ablation(quick: bool = False) -> List[Dict]:
-    """Pinned vs unpinned subgraph scheduling on 4 GPUs (LSTM)."""
+    """Pinned vs unpinned placement policy on 4 GPUs (LSTM)."""
     num = 3000 if quick else 12000
     rows = []
     for rate in (10000.0,) if quick else (10000.0, 30000.0, 50000.0):
         for pinning in (True, False):
-            server = BatchMakerServer(
-                LSTMChainModel(),
-                config=BatchingConfig.with_max_batch(512, pinning=pinning),
+            spec = presets.lstm_batchmaker_spec(
                 num_gpus=4,
-                name=f"BM(pinning={'on' if pinning else 'off'})",
+                policies=None if pinning else {"placement": "unpinned"},
             )
+            spec = spec.replace(name=f"BM(pinning={'on' if pinning else 'off'})")
             summary = common.run_point(
-                server, lambda: SequenceDataset(seed=1), rate, num
+                build_server(spec), lambda: SequenceDataset(seed=1), rate, num
             )
             rows.append(
                 {
@@ -85,17 +89,14 @@ def overhead_sweep(quick: bool = False) -> List[Dict]:
     num = 4000 if quick else 20000
     rows = []
     for overhead_us in (0, 35, 65, 130, 260):
-        # Sweep the *total* per-task overhead (scheduling + gather).
+        # Sweep the *total* per-task overhead (scheduling + gather); the
+        # cost model is a runtime-only object, passed as a build override.
         cost = CostModel(
             per_task_overhead=overhead_us * 1e-6, gather_overhead=0.0
         )
         cost.register("lstm", v100_lstm_step_table())
-        server = BatchMakerServer(
-            LSTMChainModel(),
-            config=BatchingConfig.with_max_batch(512),
-            cost_model=cost,
-            name=f"BM(ovh={overhead_us}us)",
-        )
+        spec = presets.lstm_batchmaker_spec().replace(name=f"BM(ovh={overhead_us}us)")
+        server = build_server(spec, cost_model=cost)
         summary = common.run_point(
             server, lambda: FixedLengthDataset(24), rate, num
         )
@@ -111,27 +112,21 @@ def overhead_sweep(quick: bool = False) -> List[Dict]:
 
 
 def priority_ablation(quick: bool = False) -> List[Dict]:
-    """Decoder-priority vs flat priority for Seq2Seq (2 GPUs).
+    """Decoder-priority vs the flat queue policy for Seq2Seq (2 GPUs).
 
     Run near saturation, where the choice of which cell type to execute
-    first actually binds."""
+    first actually binds.  The flat policy ignores configured priorities
+    in the tie-break, which is exactly equivalent to setting every
+    priority to zero — so this is a pure policy swap."""
     rate = 7500.0
     num = 3000 if quick else 10000
     rows = []
-    for decoder_priority in (1, 0):
-        config = BatchingConfig.with_max_batch(
-            512,
-            per_cell_max={"decoder": 256},
-            per_cell_priority={"decoder": decoder_priority, "encoder": 0},
-        )
-        server = BatchMakerServer(
-            Seq2SeqModel(),
-            config=config,
-            num_gpus=2,
-            name=f"BM(dec-prio={decoder_priority})",
-        )
+    for decoder_priority, priority_policy in ((1, None), (0, "flat")):
+        policies = None if priority_policy is None else {"priority": priority_policy}
+        spec = presets.seq2seq_batchmaker_spec(policies=policies)
+        spec = spec.replace(name=f"BM(dec-prio={decoder_priority})")
         summary = common.run_point(
-            server, lambda: Seq2SeqDataset(seed=5), rate, num
+            build_server(spec), lambda: Seq2SeqDataset(seed=5), rate, num
         )
         rows.append(
             {
@@ -143,12 +138,52 @@ def priority_ablation(quick: bool = False) -> List[Dict]:
     return rows
 
 
+# One knockout per row: the policy-name overrides applied to the default
+# Seq2Seq BatchMaker spec (None = the paper's full Algorithm 1).
+BREAKDOWN_VARIANTS: List = [
+    ("all on (paper)", None),
+    ("priority off", {"priority": "flat"}),
+    ("locality off", {"placement": "unpinned"}),
+    ("fixed placement", {"placement": "fixed"}),
+]
+
+
+def policy_breakdown(quick: bool = False) -> List[Dict]:
+    """Figure-9-style mechanism breakdown via policy swaps (Seq2Seq, 2 GPUs).
+
+    Each row disables one scheduling mechanism by swapping a single
+    policy on the same spec — no server or scheduler code forks."""
+    rate = 7500.0
+    num = 2500 if quick else 10000
+    rows = []
+    for label, overrides in BREAKDOWN_VARIANTS:
+        spec = presets.seq2seq_batchmaker_spec(policies=overrides)
+        spec = spec.replace(name=f"BM({label})")
+        server = build_server(spec)
+        summary = common.run_point(
+            server, lambda: Seq2SeqDataset(seed=5), rate, num
+        )
+        rows.append(
+            {
+                "variant": label,
+                "policies": server.policies.names(),
+                "throughput": summary.throughput,
+                "p50_latency_ms": summary.p50_ms,
+                "p90_latency_ms": summary.p90_ms,
+                "p99_latency_ms": summary.p99_ms,
+                "p99_queuing_ms": 1e3 * summary.stats.p(99, "queuing"),
+            }
+        )
+    return rows
+
+
 def run(quick: bool = False) -> Dict[str, List[Dict]]:
     return {
         "max_tasks_to_submit": max_tasks_sweep(quick),
         "pinning": pinning_ablation(quick),
         "overhead": overhead_sweep(quick),
         "priority": priority_ablation(quick),
+        "policy_breakdown": policy_breakdown(quick),
     }
 
 
@@ -199,7 +234,7 @@ def main(quick: bool = False, jobs: int = 1) -> Dict:
             ],
         )
     )
-    print("\n== Ablation: decoder priority (Seq2Seq @4K req/s, 2 GPUs) ==")
+    print("\n== Ablation: decoder priority (Seq2Seq @7.5K req/s, 2 GPUs) ==")
     print(
         format_table(
             ["decoder priority", "p90 latency ms", "throughput"],
@@ -213,8 +248,34 @@ def main(quick: bool = False, jobs: int = 1) -> Dict:
             ],
         )
     )
+    print("\n== Policy breakdown (Seq2Seq @7.5K req/s, 2 GPUs) ==")
+    print(
+        format_table(
+            [
+                "variant",
+                "throughput",
+                "p50 ms",
+                "p90 ms",
+                "p99 ms",
+                "p99 queuing ms",
+            ],
+            [
+                [
+                    r["variant"],
+                    f"{r['throughput']:.0f}",
+                    f"{r['p50_latency_ms']:.2f}",
+                    f"{r['p90_latency_ms']:.2f}",
+                    f"{r['p99_latency_ms']:.2f}",
+                    f"{r['p99_queuing_ms']:.2f}",
+                ]
+                for r in results["policy_breakdown"]
+            ],
+        )
+    )
     return results
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(quick="--quick" in sys.argv)

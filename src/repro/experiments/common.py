@@ -6,26 +6,25 @@ import multiprocessing
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import FoldServer, PaddedServer
-from repro.core import BatchMakerServer, BatchingConfig
+from repro.core import BatchMakerServer
 from repro.metrics.summary import RunSummary, format_table
-from repro.models import LSTMChainModel, Seq2SeqModel, TreeLSTMModel
+from repro.registry import build_server, presets
+from repro.registry.presets import (  # re-exported for compatibility
+    MXNET_BATCH_OVERHEAD,
+    TENSORFLOW_BATCH_OVERHEAD,
+)
 from repro.server import InferenceServer
 from repro.workload import LoadGenerator
 
-# Per-batch fixed overheads for the two padding baselines: in the paper's
-# Figure 7 TensorFlow tracks MXNet closely but slightly worse; the gap is a
-# per-graph-dispatch constant.
-MXNET_BATCH_OVERHEAD = 80e-6
-TENSORFLOW_BATCH_OVERHEAD = 150e-6
+# Every server below is built through the registry from a declarative
+# ServerSpec (see repro.registry.presets) — one construction path shared
+# with the ablations and the registry tests.
 
 
 def lstm_batchmaker(max_batch: int = 512, num_gpus: int = 1) -> BatchMakerServer:
     """BatchMaker serving the chain LSTM with the paper's defaults."""
-    return BatchMakerServer(
-        LSTMChainModel(),
-        config=BatchingConfig.with_max_batch(max_batch),
-        num_gpus=num_gpus,
-        name="BatchMaker",
+    return build_server(
+        presets.lstm_batchmaker_spec(max_batch=max_batch, num_gpus=num_gpus)
     )
 
 
@@ -36,16 +35,13 @@ def lstm_padded(
     num_gpus: int = 1,
 ) -> PaddedServer:
     """MXNet- or TensorFlow-flavoured padding baseline for the chain LSTM."""
-    overhead = (
-        MXNET_BATCH_OVERHEAD if system == "MXNet" else TENSORFLOW_BATCH_OVERHEAD
-    )
-    return PaddedServer(
-        LSTMChainModel(),
-        bucket_width=bucket_width,
-        max_batch=max_batch,
-        num_gpus=num_gpus,
-        per_batch_overhead=overhead,
-        name=system,
+    return build_server(
+        presets.lstm_padded_spec(
+            system,
+            bucket_width=bucket_width,
+            max_batch=max_batch,
+            num_gpus=num_gpus,
+        )
     )
 
 
@@ -53,49 +49,31 @@ def seq2seq_batchmaker(
     encoder_batch: int = 512, decoder_batch: int = 256, num_gpus: int = 2
 ) -> BatchMakerServer:
     """BatchMaker-<enc>,<dec> configuration from Figure 13."""
-    config = BatchingConfig.with_max_batch(
-        encoder_batch,
-        per_cell_max={"decoder": decoder_batch},
-        per_cell_priority={"decoder": 1, "encoder": 0},
-    )
-    return BatchMakerServer(
-        Seq2SeqModel(),
-        config=config,
-        num_gpus=num_gpus,
-        name=f"BatchMaker-{encoder_batch},{decoder_batch}",
+    return build_server(
+        presets.seq2seq_batchmaker_spec(
+            encoder_batch=encoder_batch,
+            decoder_batch=decoder_batch,
+            num_gpus=num_gpus,
+        )
     )
 
 
 def seq2seq_padded(system: str = "MXNet", num_gpus: int = 2) -> PaddedServer:
-    overhead = (
-        MXNET_BATCH_OVERHEAD if system == "MXNet" else TENSORFLOW_BATCH_OVERHEAD
-    )
-    return PaddedServer(
-        Seq2SeqModel(),
-        bucket_width=10,
-        max_batch=256,  # decoder-optimal; graph batching forces one size
-        num_gpus=num_gpus,
-        per_batch_overhead=overhead,
-        name=system,
-    )
+    return build_server(presets.seq2seq_padded_spec(system, num_gpus=num_gpus))
 
 
 def tree_batchmaker(max_batch: int = 64, num_gpus: int = 1) -> BatchMakerServer:
-    config = BatchingConfig.with_max_batch(
-        max_batch,
-        per_cell_priority={"tree_internal": 1, "tree_leaf": 0},
-    )
-    return BatchMakerServer(
-        TreeLSTMModel(), config=config, num_gpus=num_gpus, name="BatchMaker"
+    return build_server(
+        presets.tree_batchmaker_spec(max_batch=max_batch, num_gpus=num_gpus)
     )
 
 
 def tree_dynet(num_gpus: int = 1) -> FoldServer:
-    return FoldServer.dynet(TreeLSTMModel(), num_gpus=num_gpus)
+    return build_server(presets.tree_dynet_spec(num_gpus=num_gpus))
 
 
 def tree_tensorflow_fold(num_gpus: int = 1) -> FoldServer:
-    return FoldServer.tensorflow_fold(TreeLSTMModel(), num_gpus=num_gpus)
+    return build_server(presets.tree_tensorflow_fold_spec(num_gpus=num_gpus))
 
 
 def run_point(

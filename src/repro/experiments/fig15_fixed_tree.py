@@ -13,8 +13,7 @@ from typing import Dict, List, Sequence
 
 from repro.baselines import IdealServer
 from repro.experiments import common
-from repro.models import TreeLSTMModel
-from repro.models.tree_lstm import TreeNodeSpec, TreePayload
+from repro.registry import build_server, presets
 from repro.workload import TreeDataset
 
 FULL_RATES: Sequence[float] = (500, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000)
@@ -23,8 +22,7 @@ NUM_LEAVES = 16
 
 
 def _ideal_server() -> IdealServer:
-    template = TreePayload(TreeNodeSpec.complete(NUM_LEAVES))
-    return IdealServer(TreeLSTMModel(), template, max_batch=64)
+    return build_server(presets.fixed_tree_ideal_spec(num_leaves=NUM_LEAVES))
 
 
 def run(quick: bool = False, jobs: int = 1) -> Dict[str, List]:

@@ -16,7 +16,7 @@ bit-identical to the pre-fault engine.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 # Fault kinds a task draw can produce.
 KERNEL_FAIL = "fail"

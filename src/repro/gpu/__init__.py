@@ -23,7 +23,7 @@ from repro.gpu.costmodel import (
     tree_leaf_step_table,
     v100_lstm_step_table,
 )
-from repro.gpu.device import DeviceTimeline, GPUDevice
+from repro.gpu.device import DeviceTimeline, GPUDevice, make_devices
 from repro.gpu.kernel import Kernel, SignalKernel
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "LatencyTable",
     "GPUDevice",
     "DeviceTimeline",
+    "make_devices",
     "Kernel",
     "SignalKernel",
     "v100_lstm_step_table",

@@ -20,6 +20,15 @@ class DeviceLostError(RuntimeError):
     """Work was submitted to (or running on) a device that has died."""
 
 
+def make_devices(loop: EventLoop, num_gpus: int) -> List["GPUDevice"]:
+    """The per-server GPU fleet, ids 0..num_gpus-1; every server kind
+    (BatchMaker's manager and the graph-batching baselines) builds it the
+    same way."""
+    if num_gpus < 1:
+        raise ValueError("need at least one GPU")
+    return [GPUDevice(loop, device_id=i) for i in range(num_gpus)]
+
+
 class DeviceTimeline:
     """Record of (start, end, tag) intervals for utilization accounting."""
 

@@ -8,7 +8,7 @@ the stream (§5, "Asynchronous Completion Notification").
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 
 class Kernel:

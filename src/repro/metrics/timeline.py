@@ -8,7 +8,7 @@ general scheduling debugging.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 
 class TaskRecord:

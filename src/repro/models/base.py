@@ -9,7 +9,7 @@ testing respectively.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cell import CellType
 from repro.core.cell_graph import CellGraph, CellNode

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 
 def nice_ticks(lo: float, hi: float, target: int = 6) -> List[float]:

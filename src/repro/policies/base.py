@@ -1,0 +1,192 @@
+"""The three policy interfaces and the bundle that groups them.
+
+Policies are deliberately thin protocols over the scheduler's *mechanism*
+(queues, ready counters, eligibility indexes, pin bookkeeping): a policy
+decides, the scheduler/manager machinery executes.  Every instance is
+per-server state — construct a fresh bundle per server, never share one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # typing only — core imports this package at runtime
+    from repro.core.scheduler import CellTypeQueue
+    from repro.core.subgraph import Subgraph
+    from repro.core.task import BatchedTask
+    from repro.core.worker import Worker
+
+Plan = List[Tuple["Subgraph", int]]
+
+
+class QueuePriorityPolicy:
+    """Which cell-type queue does the next scheduling round serve?"""
+
+    name = "abstract"
+
+    def select(
+        self, queues: Sequence["CellTypeQueue"]
+    ) -> Optional["CellTypeQueue"]:
+        """Pick the queue to batch from, or None when nothing is ready.
+        Must be deterministic in the queues' observable state."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PlacementPolicy:
+    """Where a subgraph's work runs, and what moving it costs.
+
+    ``optimistic`` tells the request machinery whether internal
+    dependencies may advance at *submission* (safe only when every task of
+    a subgraph lands on one device, whose FIFO stream order then satisfies
+    them — the point of pinning) or must wait for completion.
+    """
+
+    name = "abstract"
+    optimistic = True
+
+    # Bytes of live state per subgraph hop (h and c vectors at h=1024,
+    # fp32) — what a cross-device migration must copy.
+    HIDDEN_STATE_BYTES = 2 * 1024 * 4
+
+    def prepare(self, num_workers: int) -> None:
+        """Called once by the manager before serving starts."""
+
+    def on_admit(self, sg: "Subgraph") -> None:
+        """A released subgraph enters the scheduler's queues."""
+        sg.optimistic = self.optimistic
+
+    def bind(self, sg: "Subgraph", worker_id: int) -> None:
+        """Nodes of ``sg`` were committed to a task on ``worker_id``."""
+        raise NotImplementedError
+
+    def migration_cost(self, task: "BatchedTask", worker: "Worker") -> float:
+        """Cross-device copy cost of running ``task`` on ``worker``: charged
+        for every subgraph whose live state sits on a different GPU."""
+        cost = 0.0
+        for subgraph in task.subgraphs():
+            if (
+                subgraph.last_worker is not None
+                and subgraph.last_worker != worker.worker_id
+            ):
+                cost += worker.device.copy_cost(self.HIDDEN_STATE_BYTES)
+        return cost
+
+    def retry_target(
+        self, task: "BatchedTask", workers: Sequence["Worker"]
+    ) -> Optional["Worker"]:
+        """Deterministic retry placement: the original worker when it still
+        lives, else the first surviving worker after it in id order."""
+        origin = task.worker_id if task.worker_id is not None else 0
+        n = len(workers)
+        for offset in range(n):
+            worker = workers[(origin + offset) % n]
+            if worker.alive:
+                return worker
+        return None
+
+    def on_retry(self, task: "BatchedTask", target: "Worker") -> None:
+        """A failed task is about to re-run on ``target`` — fix up any
+        placement state (pins) before submission."""
+
+    def on_device_failed(self, dead_worker_id: int) -> None:
+        """A device died — drop it from any placement state the policy
+        keeps, so future admissions avoid it."""
+
+    def replacement_for(
+        self, dead_worker_id: int, workers: Sequence["Worker"]
+    ) -> Optional["Worker"]:
+        """Survivor that inherits a dead device's queued work: the first
+        alive worker after it in id order."""
+        n = len(workers)
+        for offset in range(1, n + 1):
+            worker = workers[(dead_worker_id + offset) % n]
+            if worker.alive:
+                return worker
+        return None
+
+    def repin_target(
+        self, sg: "Subgraph", dead_worker_id: int, replacement: Optional[int]
+    ) -> Optional[int]:
+        """New pin for a queued subgraph stranded on a dead device."""
+        return replacement
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class BatchFormationPolicy:
+    """Which ready nodes of the chosen queue form the next batched task."""
+
+    name = "abstract"
+
+    def form(self, queue: "CellTypeQueue", worker: "Worker") -> Plan:
+        """Plan (without committing) ``(subgraph, node_count)`` takes, up to
+        the queue's max batch.  Planning must leave the queue's observable
+        state unchanged — the caller may decline the plan under the
+        min-batch rule."""
+        raise NotImplementedError
+
+    def on_subgraph_removed(
+        self, queue: "CellTypeQueue", sg: "Subgraph"
+    ) -> None:
+        """``sg`` left ``queue`` (exhausted or evicted).  Policies keeping
+        their own indexes hook this; the default lazy-staleness indexes
+        need nothing."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PolicyBundle:
+    """One policy of each kind, as the scheduler and manager consume them."""
+
+    def __init__(
+        self,
+        priority: QueuePriorityPolicy,
+        placement: PlacementPolicy,
+        formation: BatchFormationPolicy,
+    ):
+        self.priority = priority
+        self.placement = placement
+        self.formation = formation
+
+    @classmethod
+    def from_config(cls, config) -> "PolicyBundle":
+        """The paper's defaults for a :class:`BatchingConfig`: three-tier
+        priority, pinning on/off per ``config.pinning``, FIFO formation on
+        the fast or brute-force path per ``config.fast_path``.  Runs are
+        bit-identical to the pre-policy-layer engine."""
+        from repro.policies.defaults import (
+            PaperBatchFormation,
+            PaperQueuePriority,
+            PinnedPlacement,
+        )
+        from repro.policies.variants import UnpinnedPlacement
+
+        return cls(
+            priority=PaperQueuePriority(),
+            placement=(
+                PinnedPlacement() if config.pinning else UnpinnedPlacement()
+            ),
+            formation=PaperBatchFormation(
+                fast_path=getattr(config, "fast_path", True)
+            ),
+        )
+
+    def names(self) -> dict:
+        """Registry names of the three policies (spec serialisation)."""
+        return {
+            "priority": self.priority.name,
+            "placement": self.placement.name,
+            "formation": self.formation.name,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<PolicyBundle priority={self.priority.name!r} "
+            f"placement={self.placement.name!r} "
+            f"formation={self.formation.name!r}>"
+        )

@@ -1,0 +1,124 @@
+"""The paper's default policies — Algorithm 1, verbatim.
+
+Each class transplants the exact logic the scheduler/manager hard-wired
+before the policy layer existed; fixed-seed runs through these defaults
+are bit-identical to that engine (``tests/test_policies.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.policies.base import (
+    BatchFormationPolicy,
+    Plan,
+    PlacementPolicy,
+    QueuePriorityPolicy,
+)
+
+if TYPE_CHECKING:
+    from repro.core.scheduler import CellTypeQueue
+    from repro.core.subgraph import Subgraph
+    from repro.core.worker import Worker
+
+
+class PaperQueuePriority(QueuePriorityPolicy):
+    """Algorithm 1 lines 5-10: (a) cell types with at least a full maximum
+    batch of ready nodes; else (b) cell types with ready nodes and no
+    running tasks; else (c) any cell type with ready nodes.  Ties break by
+    configured priority (decoder > encoder, internal > leaf), then by name
+    for determinism."""
+
+    name = "paper"
+
+    def select(
+        self, queues: Sequence["CellTypeQueue"]
+    ) -> Optional["CellTypeQueue"]:
+        candidates = [
+            q for q in queues if q.num_ready_nodes() >= q.config.max_batch
+        ]
+        if not candidates:
+            candidates = [
+                q
+                for q in queues
+                if q.running_tasks == 0 and q.num_ready_nodes() > 0
+            ]
+        if not candidates:
+            candidates = [q for q in queues if q.num_ready_nodes() > 0]
+        if not candidates:
+            return None
+        return max(
+            candidates, key=lambda q: (q.config.priority, q.cell_type.name)
+        )
+
+
+class PinnedPlacement(PlacementPolicy):
+    """§4.3 locality: the first task binds a subgraph to its worker; until
+    its in-flight count returns to zero, follow-up tasks are only eligible
+    there — so FIFO stream order resolves internal dependencies
+    optimistically and no hidden state ever crosses devices."""
+
+    name = "pinned"
+    optimistic = True
+
+    def bind(self, sg: "Subgraph", worker_id: int) -> None:
+        sg.pin(worker_id)
+
+    def on_retry(self, task, target: "Worker") -> None:
+        # The retry may land on a survivor other than the dead original;
+        # drag the affected subgraphs' pins along so their queued remainder
+        # stays on one device.
+        for sg in task.subgraphs():
+            sg.repin(target.worker_id)
+
+
+class PaperBatchFormation(BatchFormationPolicy):
+    """Algorithm 1's ``FormBatchedTask``: scan eligible subgraphs (ready
+    nodes, unpinned or pinned to the requesting worker) in arrival order,
+    taking ready nodes until the maximum batch size is reached.
+
+    ``fast_path=True`` walks the queue's lazy eligibility heaps (O(batch +
+    stale entries)); ``fast_path=False`` is the retained brute-force FIFO
+    scan (O(queue)).  Both produce bit-identical plans.
+    """
+
+    name = "paper"
+
+    def __init__(self, fast_path: bool = True):
+        self.fast_path = fast_path
+
+    def form(self, queue: "CellTypeQueue", worker: "Worker") -> Plan:
+        if not self.fast_path:
+            return self._form_reference(queue, worker)
+        plan: Plan = []
+        budget = queue.config.max_batch
+        while budget > 0:
+            sg = queue.pop_eligible(worker.worker_id)
+            if sg is None:
+                break
+            take = min(sg.ready_count(), budget)
+            plan.append((sg, take))
+            budget -= take
+        # Planning must not mutate queue state (the caller may decline the
+        # plan under the min-batch rule), so restore every popped entry;
+        # ``queue_seq`` keys keep the FIFO order intact.
+        for sg, _ in plan:
+            queue.reinsert(sg)
+        return plan
+
+    def _form_reference(self, queue: "CellTypeQueue", worker: "Worker") -> Plan:
+        """Brute-force reference: full FIFO scan past ineligible subgraphs
+        (the pre-optimisation implementation, kept for the equivalence test
+        and as the benchmark baseline)."""
+        plan: Plan = []
+        budget = queue.config.max_batch
+        for sg in queue.subgraphs.values():
+            if budget == 0:
+                break
+            if sg.pinned is not None and sg.pinned != worker.worker_id:
+                continue
+            take = min(sg.ready_count(), budget)
+            if take > 0:
+                plan.append((sg, take))
+                budget -= take
+        return plan

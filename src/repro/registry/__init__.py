@@ -1,0 +1,29 @@
+"""Unified server registry: declarative specs -> constructed servers.
+
+The experiment modules historically repeated constructor / event-loop /
+device plumbing for every server flavour.  This package replaces that
+with one path:
+
+* :class:`ServerSpec` — a server as plain data (engine kind, model name,
+  GPU count, batching config, policy names, engine params), with exact
+  ``to_dict``/``from_dict`` round-tripping.
+* :func:`build_server` — constructs BatchMaker or any of the four
+  graph-batching baselines (padded, timeout_padded, fold, ideal) from a
+  spec, attaching it as ``server.spec``.
+* :mod:`repro.registry.presets` — the specs for every configuration the
+  paper's figures evaluate.
+"""
+
+from repro.registry.builders import build_server
+from repro.registry.models import MODELS, make_model
+from repro.registry.specs import KINDS, ServerSpec
+from repro.registry import presets
+
+__all__ = [
+    "ServerSpec",
+    "KINDS",
+    "MODELS",
+    "make_model",
+    "build_server",
+    "presets",
+]

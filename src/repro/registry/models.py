@@ -1,0 +1,37 @@
+"""Model registry: servable models by name.
+
+Specs refer to models declaratively (``model="seq2seq"``) so a whole
+server — BatchMaker or baseline — can be described as plain data and
+rebuilt anywhere (worker processes, config files, tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.models import (
+    AttentionSeq2SeqModel,
+    BeamSeq2SeqModel,
+    GRUChainModel,
+    LSTMChainModel,
+    Model,
+    Seq2SeqModel,
+    TreeLSTMModel,
+)
+
+MODELS: Dict[str, Type[Model]] = {
+    "lstm": LSTMChainModel,
+    "gru": GRUChainModel,
+    "seq2seq": Seq2SeqModel,
+    "attention_seq2seq": AttentionSeq2SeqModel,
+    "beam_seq2seq": BeamSeq2SeqModel,
+    "treelstm": TreeLSTMModel,
+}
+
+
+def make_model(name: str, **model_args) -> Model:
+    """Instantiate a registered model by name."""
+    cls = MODELS.get(name)
+    if cls is None:
+        raise KeyError(f"unknown model {name!r} (have: {sorted(MODELS)})")
+    return cls(**model_args)

@@ -1,0 +1,188 @@
+"""Preset specs for the paper's evaluated configurations.
+
+Each function returns the :class:`~repro.registry.specs.ServerSpec` for
+one server the figure experiments (fig7/fig13/fig14/fig15) and the
+ablations evaluate; ``all_fig_specs()`` enumerates them so the registry
+tests can assert every published configuration constructs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import BatchingConfig
+from repro.registry.specs import ServerSpec
+
+# Per-batch fixed overheads for the two padding baselines: in the paper's
+# Figure 7 TensorFlow tracks MXNet closely but slightly worse; the gap is a
+# per-graph-dispatch constant.
+MXNET_BATCH_OVERHEAD = 80e-6
+TENSORFLOW_BATCH_OVERHEAD = 150e-6
+
+
+def _padding_overhead(system: str) -> float:
+    return MXNET_BATCH_OVERHEAD if system == "MXNet" else TENSORFLOW_BATCH_OVERHEAD
+
+
+def lstm_batchmaker_spec(
+    max_batch: int = 512,
+    num_gpus: int = 1,
+    policies: Optional[Dict[str, str]] = None,
+) -> ServerSpec:
+    """BatchMaker serving the chain LSTM with the paper's defaults."""
+    return ServerSpec(
+        kind="batchmaker",
+        model="lstm",
+        num_gpus=num_gpus,
+        name="BatchMaker",
+        config=BatchingConfig.with_max_batch(max_batch).to_dict(),
+        policies=policies,
+    )
+
+
+def lstm_padded_spec(
+    system: str = "MXNet",
+    bucket_width: int = 10,
+    max_batch: int = 512,
+    num_gpus: int = 1,
+) -> ServerSpec:
+    """MXNet- or TensorFlow-flavoured padding baseline for the chain LSTM."""
+    return ServerSpec(
+        kind="padded",
+        model="lstm",
+        num_gpus=num_gpus,
+        name=system,
+        params={
+            "bucket_width": bucket_width,
+            "max_batch": max_batch,
+            "per_batch_overhead": _padding_overhead(system),
+        },
+    )
+
+
+def seq2seq_batchmaker_spec(
+    encoder_batch: int = 512,
+    decoder_batch: int = 256,
+    num_gpus: int = 2,
+    policies: Optional[Dict[str, str]] = None,
+) -> ServerSpec:
+    """BatchMaker-<enc>,<dec> configuration from Figure 13."""
+    config = BatchingConfig.with_max_batch(
+        encoder_batch,
+        per_cell_max={"decoder": decoder_batch},
+        per_cell_priority={"decoder": 1, "encoder": 0},
+    )
+    return ServerSpec(
+        kind="batchmaker",
+        model="seq2seq",
+        num_gpus=num_gpus,
+        name=f"BatchMaker-{encoder_batch},{decoder_batch}",
+        config=config.to_dict(),
+        policies=policies,
+    )
+
+
+def seq2seq_padded_spec(system: str = "MXNet", num_gpus: int = 2) -> ServerSpec:
+    return ServerSpec(
+        kind="padded",
+        model="seq2seq",
+        num_gpus=num_gpus,
+        name=system,
+        params={
+            "bucket_width": 10,
+            # decoder-optimal; graph batching forces one size
+            "max_batch": 256,
+            "per_batch_overhead": _padding_overhead(system),
+        },
+    )
+
+
+def timeout_padded_spec(
+    system: str = "MXNet",
+    timeout: float = 2e-3,
+    bucket_width: int = 10,
+    max_batch: int = 512,
+    num_gpus: int = 1,
+    model: str = "lstm",
+) -> ServerSpec:
+    """Clipper-style timeout batching (the §7.1 strategy the paper rejects)."""
+    return ServerSpec(
+        kind="timeout_padded",
+        model=model,
+        num_gpus=num_gpus,
+        params={
+            "timeout": timeout,
+            "bucket_width": bucket_width,
+            "max_batch": max_batch,
+            "per_batch_overhead": _padding_overhead(system),
+        },
+    )
+
+
+def tree_batchmaker_spec(
+    max_batch: int = 64,
+    num_gpus: int = 1,
+    policies: Optional[Dict[str, str]] = None,
+) -> ServerSpec:
+    config = BatchingConfig.with_max_batch(
+        max_batch,
+        per_cell_priority={"tree_internal": 1, "tree_leaf": 0},
+    )
+    return ServerSpec(
+        kind="batchmaker",
+        model="treelstm",
+        num_gpus=num_gpus,
+        name="BatchMaker",
+        config=config.to_dict(),
+        policies=policies,
+    )
+
+
+def tree_dynet_spec(num_gpus: int = 1) -> ServerSpec:
+    return ServerSpec(
+        kind="fold",
+        model="treelstm",
+        num_gpus=num_gpus,
+        params={"variant": "dynet"},
+    )
+
+
+def tree_tensorflow_fold_spec(num_gpus: int = 1) -> ServerSpec:
+    return ServerSpec(
+        kind="fold",
+        model="treelstm",
+        num_gpus=num_gpus,
+        params={"variant": "tensorflow_fold"},
+    )
+
+
+def fixed_tree_ideal_spec(
+    num_leaves: int = 16, max_batch: int = 64, num_gpus: int = 1
+) -> ServerSpec:
+    """Figure 15's ideal comparator: one hard-coded complete-tree graph."""
+    return ServerSpec(
+        kind="ideal",
+        model="treelstm",
+        num_gpus=num_gpus,
+        params={
+            "template": {"complete_tree_leaves": num_leaves},
+            "max_batch": max_batch,
+        },
+    )
+
+
+def all_fig_specs() -> Dict[str, ServerSpec]:
+    """Every server configuration the fig* experiments evaluate."""
+    return {
+        "fig7_batchmaker": lstm_batchmaker_spec(),
+        "fig7_mxnet": lstm_padded_spec("MXNet"),
+        "fig7_tensorflow": lstm_padded_spec("TensorFlow"),
+        "fig13_batchmaker_512_256": seq2seq_batchmaker_spec(),
+        "fig13_batchmaker_512_512": seq2seq_batchmaker_spec(decoder_batch=512),
+        "fig13_mxnet": seq2seq_padded_spec("MXNet"),
+        "fig14_batchmaker": tree_batchmaker_spec(),
+        "fig14_dynet": tree_dynet_spec(),
+        "fig14_tf_fold": tree_tensorflow_fold_spec(),
+        "fig15_ideal": fixed_tree_ideal_spec(),
+        "timeout_ablation_mxnet": timeout_padded_spec(),
+    }

@@ -1,0 +1,113 @@
+"""Declarative server specifications.
+
+A :class:`ServerSpec` is plain data describing one inference server —
+which engine (``kind``), which model, how many GPUs, the batching config,
+the scheduling-policy names, and engine-specific parameters.  It exists
+so BatchMaker and the four graph-batching baselines are constructed
+through *one* code path (:func:`repro.registry.build_server`) instead of
+each experiment module repeating constructor plumbing, and so a server's
+identity round-trips: ``build(spec).spec == spec`` and
+``ServerSpec.from_dict(spec.to_dict()) == spec``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+KINDS = ("batchmaker", "padded", "timeout_padded", "fold", "ideal")
+
+
+class ServerSpec:
+    """One server, as data.
+
+    Parameters
+    ----------
+    kind:
+        Engine: ``batchmaker`` (cellular batching) or one of the
+        graph-batching baselines ``padded`` / ``timeout_padded`` /
+        ``fold`` / ``ideal``.
+    model:
+        Registered model name (see :mod:`repro.registry.models`).
+    model_args:
+        Keyword arguments for the model constructor.
+    num_gpus:
+        Worker/device count.
+    name:
+        Display name; None lets the server pick its own default.
+    config:
+        ``BatchingConfig.to_dict()`` form (batchmaker only); None means
+        the server's default config.
+    policies:
+        Policy-name overrides, e.g. ``{"placement": "unpinned"}``
+        (batchmaker only); None or ``{}`` means the paper defaults —
+        the bit-identity-guaranteed path.
+    params:
+        Engine-specific knobs: bucket_width / max_batch /
+        per_batch_overhead ... for the padded servers, ``variant`` or
+        overhead constants for fold, ``template`` for ideal.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        model: str,
+        model_args: Optional[Dict[str, Any]] = None,
+        num_gpus: int = 1,
+        name: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        policies: Optional[Dict[str, str]] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ):
+        if kind not in KINDS:
+            raise ValueError(f"unknown server kind {kind!r} (have: {KINDS})")
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        self.kind = kind
+        self.model = model
+        self.model_args = dict(model_args or {})
+        self.num_gpus = num_gpus
+        self.name = name
+        self.config = config
+        self.policies = dict(policies or {})
+        self.params = dict(params or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "model": self.model,
+            "model_args": dict(self.model_args),
+            "num_gpus": self.num_gpus,
+            "name": self.name,
+            "config": self.config,
+            "policies": dict(self.policies),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServerSpec":
+        return cls(
+            kind=data["kind"],
+            model=data["model"],
+            model_args=data.get("model_args"),
+            num_gpus=data.get("num_gpus", 1),
+            name=data.get("name"),
+            config=data.get("config"),
+            policies=data.get("policies"),
+            params=data.get("params"),
+        )
+
+    def replace(self, **changes: Any) -> "ServerSpec":
+        """A copy with the given fields replaced (specs are value objects)."""
+        data = self.to_dict()
+        data.update(changes)
+        return ServerSpec.from_dict(data)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, ServerSpec) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        label = self.name if self.name is not None else "<default name>"
+        return (
+            f"ServerSpec({self.kind}, model={self.model}, "
+            f"num_gpus={self.num_gpus}, name={label!r})"
+        )

@@ -10,10 +10,45 @@ experiment harness treat them interchangeably.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.core.request import InferenceRequest
 from repro.sim.events import EventLoop
+
+
+def ensure_loop(loop: Optional[EventLoop]) -> EventLoop:
+    """The ``loop if loop is not None else EventLoop()`` default every
+    server constructor used to spell out."""
+    return loop if loop is not None else EventLoop()
+
+
+class DeferredKick:
+    """Coalesced end-of-timestamp dispatch.
+
+    Both BatchMaker's manager and the graph-batching baselines defer their
+    dispatch loop to the end of the current timestamp so that
+    simultaneously-arriving requests can be batched together instead of
+    the first one grabbing an idle device alone.  ``kick()`` arranges one
+    ``fire`` at the current time via ``call_soon`` — further kicks before
+    it runs coalesce into that single firing.
+    """
+
+    __slots__ = ("loop", "fn", "_pending")
+
+    def __init__(self, loop: EventLoop, fn: Callable[[], None]):
+        self.loop = loop
+        self.fn = fn
+        self._pending = False
+
+    def kick(self) -> None:
+        if not self._pending:
+            self._pending = True
+            self.loop.call_soon(self.fire)
+
+    def fire(self) -> None:
+        """Run the dispatch function now (also the coalesced callback)."""
+        self._pending = False
+        self.fn()
 
 
 class InferenceServer:
@@ -37,6 +72,12 @@ class InferenceServer:
         raise NotImplementedError
 
     # -- shared machinery ------------------------------------------------------
+
+    def deferred_kicker(self, fn: Callable[[], None]) -> DeferredKick:
+        """A coalesced end-of-timestamp dispatcher bound to this server's
+        loop (see :class:`DeferredKick`); subclasses kick it from
+        ``_accept`` instead of hand-rolling a pending flag."""
+        return DeferredKick(self.loop, fn)
 
     def submit(
         self,

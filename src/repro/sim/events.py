@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
-from repro.sim.clock import Clock, VirtualClock
+from repro.sim.clock import VirtualClock
 
 
 class Event:

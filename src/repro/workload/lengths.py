@@ -11,7 +11,7 @@ which gives mean ~24, p99 ~93 and a long thin tail to the 330 clip.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

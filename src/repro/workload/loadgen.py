@@ -8,7 +8,7 @@ the paper's evaluation.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from repro.metrics.latency import LatencyStats
 from repro.metrics.summary import RunSummary

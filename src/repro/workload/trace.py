@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Tuple
 
 from repro.models.tree_lstm import TreeNodeSpec, TreePayload
 from repro.server import InferenceServer

@@ -1,0 +1,124 @@
+"""The server registry: spec round-trips and one construction path.
+
+Every :class:`~repro.registry.ServerSpec` must round-trip exactly
+(``from_dict(to_dict())``), survive JSON, and build the server it
+describes with the spec attached; every configuration the fig*
+experiments evaluate must construct through the registry.
+"""
+
+import json
+
+import pytest
+
+from repro.baselines import FoldServer, IdealServer, PaddedServer, TimeoutPaddedServer
+from repro.core import BatchMakerServer, BatchingConfig
+from repro.core.config import CellTypeConfig
+from repro.registry import KINDS, ServerSpec, build_server, make_model, presets
+from repro.sim.events import EventLoop
+from repro.workload import LoadGenerator, SequenceDataset
+
+EXPECTED_KIND_CLASSES = {
+    "batchmaker": BatchMakerServer,
+    "padded": PaddedServer,
+    "timeout_padded": TimeoutPaddedServer,
+    "fold": FoldServer,
+    "ideal": IdealServer,
+}
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("key", sorted(presets.all_fig_specs()))
+    def test_dict_and_json_round_trip(self, key):
+        spec = presets.all_fig_specs()[key]
+        assert ServerSpec.from_dict(spec.to_dict()) == spec
+        assert ServerSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    @pytest.mark.parametrize("key", sorted(presets.all_fig_specs()))
+    def test_build_attaches_spec_and_rebuilds(self, key):
+        spec = presets.all_fig_specs()[key]
+        server = build_server(spec)
+        assert server.spec == spec
+        assert isinstance(server, EXPECTED_KIND_CLASSES[spec.kind])
+        # build -> spec -> build
+        rebuilt = build_server(ServerSpec.from_dict(server.spec.to_dict()))
+        assert rebuilt.spec == spec
+        assert type(rebuilt) is type(server)
+        assert rebuilt.name == server.name
+
+    def test_replace_is_a_value_copy(self):
+        spec = presets.lstm_batchmaker_spec()
+        other = spec.replace(num_gpus=4)
+        assert other.num_gpus == 4 and spec.num_gpus == 1
+        assert other != spec
+
+    def test_config_round_trips_exactly(self):
+        config = BatchingConfig.with_max_batch(
+            512,
+            per_cell_max={"decoder": 256},
+            per_cell_priority={"decoder": 1, "encoder": 0},
+            max_tasks_to_submit=3,
+            pinning=False,
+            fast_path=False,
+        )
+        assert BatchingConfig.from_dict(config.to_dict()) == config
+        assert CellTypeConfig.from_dict(
+            CellTypeConfig((1, 2, 4), priority=2).to_dict()
+        ) == CellTypeConfig((1, 2, 4), priority=2)
+
+
+class TestBuildServer:
+    def test_kinds_enumerated(self):
+        assert set(EXPECTED_KIND_CLASSES) == set(KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ServerSpec(kind="mystery", model="lstm")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            make_model("mystery")
+        with pytest.raises(KeyError):
+            build_server(ServerSpec(kind="padded", model="mystery"))
+
+    def test_unknown_runtime_override_rejected(self):
+        with pytest.raises(TypeError):
+            build_server(presets.lstm_padded_spec(), fault_plan=object())
+
+    def test_explicit_loop_is_used(self):
+        loop = EventLoop()
+        server = build_server(presets.lstm_batchmaker_spec(), loop=loop)
+        assert server.loop is loop
+
+    def test_policy_names_reach_the_bundle(self):
+        spec = presets.seq2seq_batchmaker_spec(
+            policies={"priority": "flat", "placement": "unpinned"}
+        )
+        server = build_server(spec)
+        assert server.policies.names() == {
+            "priority": "flat",
+            "placement": "unpinned",
+            "formation": "paper",
+        }
+
+    def test_registry_server_matches_direct_construction(self):
+        """A registry-built BatchMaker decides identically to one built by
+        hand from the same configuration (fixed seed)."""
+
+        def fingerprint(server):
+            result = LoadGenerator(rate=4000, num_requests=400, seed=7).run(
+                server, SequenceDataset(seed=1)
+            )
+            return (
+                server.tasks_submitted(),
+                tuple(result.summary.stats.latencies),
+            )
+
+        from repro.models import LSTMChainModel
+
+        direct = BatchMakerServer(
+            LSTMChainModel(),
+            config=BatchingConfig.with_max_batch(512),
+            name="BatchMaker",
+        )
+        via_registry = build_server(presets.lstm_batchmaker_spec())
+        assert fingerprint(via_registry) == fingerprint(direct)
