@@ -2,8 +2,9 @@
 """Engine benchmark entry point (repo root aware).
 
 Times scheduler decisions/sec (fast path vs the retained brute-force
-reference) at fixed queue depths and the quick Fig-7 sweep wall-clock
-(serial vs ``--jobs``), then writes ``BENCH_engine.json`` at the repo root.
+reference) at fixed queue depths, cluster routing decisions/sec per policy,
+and the quick Fig-7 sweep wall-clock (serial vs ``--jobs``), then writes
+``BENCH_engine.json`` at the repo root.
 
 Usage::
 

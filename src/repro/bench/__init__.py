@@ -8,6 +8,7 @@ for the repo-root entry point.
 """
 
 from repro.bench.engine import (
+    bench_cluster_routing,
     bench_fig7_quick,
     bench_scheduler,
     check_regression,
@@ -16,6 +17,7 @@ from repro.bench.engine import (
 )
 
 __all__ = [
+    "bench_cluster_routing",
     "bench_fig7_quick",
     "bench_scheduler",
     "check_regression",

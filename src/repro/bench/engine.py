@@ -29,7 +29,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 DEFAULT_DEPTHS = (250, 1000, 4000)
 SMOKE_DEPTHS = (250, 1000)
 # Policy bundles timed by bench_policy_overhead: decision rate of the
@@ -44,6 +44,9 @@ POLICY_VARIANTS = (
 BENCH_WORKERS = 8
 CHAIN_LENGTH = 32
 REGRESSION_FACTOR = 2.0
+# Replica-pool size for the cluster routing bench (the front end's cost
+# per decision grows with the candidate list, so use a biggish pool).
+CLUSTER_BENCH_REPLICAS = 8
 
 
 class _BenchWorker:
@@ -169,6 +172,58 @@ def bench_policy_overhead(
     return results
 
 
+def bench_cluster_routing(
+    num_replicas: int = CLUSTER_BENCH_REPLICAS,
+    max_seconds: float = 1.0,
+    max_decisions: int = 200_000,
+) -> Dict[str, Dict]:
+    """Front-end routing decisions/sec, per policy.
+
+    The replicas are engine-free stand-ins with a scattered load profile
+    (so the load-aware policies do real min-by-key work and hit the seeded
+    tie-break), and the request stream cycles through mixed payload
+    lengths (so length bucketing does real bucketing).  This isolates the
+    router's per-decision cost from replica simulation time.
+    """
+    from repro.cluster.replica import Replica
+    from repro.cluster.routing import ROUTERS, make_router
+    from repro.core.request import InferenceRequest
+    from repro.server import InferenceServer
+    from repro.sim.events import EventLoop
+
+    lengths = (4, 12, 19, 27, 45, 70, 121, 8)
+    requests = [
+        InferenceRequest(i, lengths[i % len(lengths)], 0.0) for i in range(4096)
+    ]
+    results: Dict[str, Dict] = {}
+    for name in sorted(ROUTERS):
+        replicas = []
+        for rid in range(num_replicas):
+            replica = Replica(rid, InferenceServer(EventLoop(), f"bench#{rid}"))
+            # Scattered outstanding counts with deliberate ties.
+            replica.routed = (rid * 7) % 5
+            replica.ewma_latency = 1e-3 * (1 + rid % 3)
+            replicas.append(replica)
+        router = make_router(name, seed=7)
+        decisions = 0
+        start = time.perf_counter()
+        while decisions < max_decisions:
+            router.choose(requests[decisions % len(requests)], replicas)
+            decisions += 1
+            if decisions % 4096 == 0 and time.perf_counter() - start >= max_seconds:
+                break
+        elapsed = time.perf_counter() - start
+        rate = decisions / elapsed if elapsed > 0 else 0.0
+        results[name] = {
+            "num_replicas": num_replicas,
+            "decisions": decisions,
+            "seconds": elapsed,
+            "decisions_per_sec": rate,
+            "us_per_decision": 1e6 / rate if rate > 0 else None,
+        }
+    return results
+
+
 def bench_fig7_quick(jobs: int = 2) -> Dict:
     """Wall-clock of the quick Fig-7 LSTM sweep, serial vs parallel, plus
     an identical-results cross-check."""
@@ -238,6 +293,10 @@ def run_engine_bench(smoke: bool = False, jobs: int = 2) -> Dict:
             depth=SMOKE_DEPTHS[-1] if smoke else 1000,
             max_decisions=250 if smoke else 1000,
         ),
+        "cluster": bench_cluster_routing(
+            max_seconds=0.25 if smoke else 1.0,
+            max_decisions=50_000 if smoke else 200_000,
+        ),
     }
     if not smoke:
         bench["fig7_quick"] = bench_fig7_quick(jobs=jobs)
@@ -262,6 +321,16 @@ def check_regression(current: Dict, baseline_path: str) -> List[str]:
                 f"{name}: fast path {cur_rate:,.0f} decisions/s is more than "
                 f"{REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
             )
+    for name, entry in baseline.get("cluster", {}).items():
+        if name not in current.get("cluster", {}):
+            continue
+        base_rate = entry["decisions_per_sec"]
+        cur_rate = current["cluster"][name]["decisions_per_sec"]
+        if base_rate > 0 and cur_rate < base_rate / REGRESSION_FACTOR:
+            failures.append(
+                f"cluster routing {name}: {cur_rate:,.0f} decisions/s is more "
+                f"than {REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
+            )
     return failures
 
 
@@ -283,6 +352,14 @@ def _print_report(bench: Dict) -> None:
             if entry["us_per_decision"] is not None
         ]
         print(f"policy bundles @depth {depth}: " + ", ".join(parts))
+    cluster = bench.get("cluster", {})
+    if cluster:
+        replicas = next(iter(cluster.values()))["num_replicas"]
+        parts = [
+            f"{name} {entry['decisions_per_sec']:,.0f} dec/s"
+            for name, entry in cluster.items()
+        ]
+        print(f"cluster routing @{replicas} replicas: " + ", ".join(parts))
     fig7 = bench.get("fig7_quick")
     if fig7:
         par = (

@@ -1,0 +1,359 @@
+"""The serving cluster: N replicas behind a front-end router.
+
+``ClusterServer`` implements the common :class:`InferenceServer` interface
+— ``submit`` / ``drain`` / ``finished`` — so the load generator and the
+experiment harness drive a whole cluster exactly like one server.  All
+replicas share one deterministic event loop; the cluster routes each
+request to a replica at its arrival time (when queue states are real, not
+at submission time when they are not), and lazily *reconciles* replica
+outcomes back onto its own logical requests.
+
+Life of a request:
+
+1. ``submit`` creates the logical :class:`InferenceRequest` (cluster-wide
+   id) and schedules its arrival.
+2. At arrival, the router picks a replica among the routable candidates
+   (replica-id order, seeded tie-breaks — DESIGN.md §11) and the replica
+   materialises a *shadow* request that runs on its engine.
+3. Reconciliation (amortised O(1), on each arrival and on terminal-list
+   access) copies the shadow's terminal outcome onto the logical request.
+4. If the replica dies first, the cluster re-routes the logical request
+   as a fresh shadow on a survivor; only with no survivor is it rejected.
+
+With one replica and no autoscaler the cluster adds *zero* events and
+*zero* decisions: the shadow stream equals a bare ``build_server()`` run
+event for event, so the fixed-seed outcome fingerprint is bit-identical
+(``tests/test_cluster_identity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.faults import normalize_failures
+from repro.cluster.metrics import ClusterCounters, ClusterStats, aggregate_fault_counters
+from repro.cluster.replica import ALIVE, DEAD, DRAINING, RETIRED, WARMING, Replica
+from repro.cluster.routing import make_router
+from repro.core.request import InferenceRequest
+from repro.registry import build_server
+from repro.registry.specs import ClusterSpec
+from repro.server import InferenceServer, ensure_loop
+from repro.sim.events import EventLoop
+
+
+class ClusterServer(InferenceServer):
+    """N replicas of one :class:`~repro.registry.ServerSpec`, one front end.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.registry.ClusterSpec` describing the cluster.
+    loop:
+        Shared event loop (default: a fresh one).
+    replica_failures:
+        ``(time, replica_id)`` pairs (or :class:`ReplicaFailure`
+        instances): replicas die deterministically at scheduled virtual
+        times, mirroring ``FaultPlan.device_failures`` one level up.
+    replica_runtime:
+        Runtime-only keyword overrides passed to every replica's
+        ``build_server`` call (``sla=...``, ``fault_plan=...``,
+        ``cost_model=...``); never serialised, applied uniformly.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        loop: Optional[EventLoop] = None,
+        replica_failures: Sequence = (),
+        **replica_runtime: Any,
+    ):
+        name = spec.name or f"Cluster[{spec.router} x{spec.num_replicas}]"
+        super().__init__(ensure_loop(loop), name)
+        self.spec = spec
+        self.seed = spec.seed
+        self.router = make_router(spec.router, seed=spec.seed, **spec.router_params)
+        self._replica_runtime = dict(replica_runtime)
+        self.replicas: List[Replica] = []
+        self._next_replica_id = 0
+        self.cluster_counters = ClusterCounters()
+        # Deterministic (time, action, replica_id) log of scaling/fault
+        # lifecycle transitions; fixed-seed runs replay it exactly.
+        self.scale_events: List[tuple] = []
+        for _ in range(spec.num_replicas):
+            self._add_replica(state=ALIVE)
+
+        self.autoscaler: Optional[Autoscaler] = None
+        if spec.autoscaler is not None:
+            config = AutoscalerConfig.from_dict(spec.autoscaler)
+            if spec.num_replicas < config.min_replicas:
+                raise ValueError(
+                    f"num_replicas={spec.num_replicas} is below the "
+                    f"autoscaler's min_replicas={config.min_replicas}"
+                )
+            self.autoscaler = Autoscaler(self, config)
+
+        for failure in normalize_failures(replica_failures):
+            self.loop.call_at(
+                max(failure.time, self.loop.now()),
+                lambda rid=failure.replica_id: self._replica_failed(rid),
+            )
+
+    # -- terminal lists: reconciled views -----------------------------------
+    # The base class assigns plain lists in __init__; these properties keep
+    # that storage (the setters) but make every read reconcile replica
+    # outcomes first, so ``finished``/``timed_out``/``rejected`` are always
+    # consistent with the replicas' current state.
+
+    @property
+    def finished(self) -> List[InferenceRequest]:
+        self._reconcile()
+        return self._finished
+
+    @finished.setter
+    def finished(self, value) -> None:
+        self._finished = list(value)
+
+    @property
+    def timed_out(self) -> List[InferenceRequest]:
+        self._reconcile()
+        return self._timed_out
+
+    @timed_out.setter
+    def timed_out(self, value) -> None:
+        self._timed_out = list(value)
+
+    @property
+    def rejected(self) -> List[InferenceRequest]:
+        self._reconcile()
+        return self._rejected
+
+    @rejected.setter
+    def rejected(self, value) -> None:
+        self._rejected = list(value)
+
+    # -- replica lifecycle ---------------------------------------------------
+
+    def _add_replica(self, state: str) -> Replica:
+        replica_id = self._next_replica_id
+        self._next_replica_id += 1
+        template = self.spec.replica
+        base = template.name if template.name is not None else template.kind
+        server = build_server(
+            template.replace(name=f"{base}#r{replica_id}"),
+            loop=self.loop,
+            **dict(self._replica_runtime),
+        )
+        replica = Replica(
+            replica_id, server, state=state, created_at=self.loop.now()
+        )
+        self.replicas.append(replica)
+        return replica
+
+    def _spawn_replica(self, now: float) -> Replica:
+        """Autoscaler scale-up: build a replica, make it routable after the
+        configured warm-up."""
+        warmup = self.autoscaler.config.warmup if self.autoscaler else 0.0
+        replica = self._add_replica(state=WARMING if warmup > 0 else ALIVE)
+        self.cluster_counters.replicas_spawned += 1
+        self.scale_events.append((now, "spawn", replica.replica_id))
+        if warmup > 0:
+            self.loop.call_after(
+                warmup, lambda: self._activate_replica(replica)
+            )
+        else:
+            replica.activated_at = now
+            self.scale_events.append((now, "activate", replica.replica_id))
+        return replica
+
+    def _activate_replica(self, replica: Replica) -> None:
+        if replica.state != WARMING:  # lost or retired while warming
+            return
+        replica.state = ALIVE
+        replica.activated_at = self.loop.now()
+        self.scale_events.append(
+            (self.loop.now(), "activate", replica.replica_id)
+        )
+
+    def _drain_replica(self, now: float) -> None:
+        """Autoscaler scale-down: stop routing to the least-loaded alive
+        replica (newest id on ties — retire the most recently added) and
+        let it serve out its outstanding work."""
+        alive = [r for r in self.replicas if r.state == ALIVE]
+        min_replicas = self.autoscaler.config.min_replicas if self.autoscaler else 1
+        if len(alive) <= min_replicas:
+            return
+        victim = min(alive, key=lambda r: (r.outstanding(), -r.replica_id))
+        victim.state = DRAINING
+        self.scale_events.append((now, "drain", victim.replica_id))
+        self._maybe_retire(victim)
+
+    def _maybe_retire(self, replica: Replica) -> None:
+        if replica.state == DRAINING and replica.outstanding() == 0:
+            replica.state = RETIRED
+            self.cluster_counters.replicas_retired += 1
+            self.scale_events.append(
+                (self.loop.now(), "retire", replica.replica_id)
+            )
+
+    # -- request path --------------------------------------------------------
+
+    def _candidates(self) -> List[Replica]:
+        """Routable replicas in replica-id order (creation order — never a
+        dict/set walk).  With no ALIVE replica, DRAINING ones still serve
+        rather than dropping traffic below the autoscaler's floor."""
+        alive = [r for r in self.replicas if r.state == ALIVE]
+        if alive:
+            return alive
+        return [r for r in self.replicas if r.state == DRAINING]
+
+    def _accept(self, request: InferenceRequest) -> None:
+        self._reconcile()
+        candidates = self._candidates()
+        now = self.loop.now()
+        if not candidates:
+            request.mark_rejected(now, reason="no_replicas")
+            self.cluster_counters.cluster_rejections += 1
+            self._rejected.append(request)
+            return
+        replica = self.router.choose(request, candidates)
+        replica.route(request, now)
+        if self.autoscaler is not None:
+            self.autoscaler.observe(now)
+
+    # -- reconciliation ------------------------------------------------------
+
+    def _reconcile(self) -> None:
+        for replica in self.replicas:
+            self._reconcile_replica(replica)
+            self._maybe_retire(replica)
+
+    def _reconcile_replica(self, replica: Replica) -> None:
+        """Fold the replica's newly terminal shadows onto their logical
+        requests.  Shadows without a live mapping (re-routed away on
+        replica loss, or cancelled during the loss teardown) are skipped."""
+        server = replica.server
+        buckets = (
+            (server.finished, self._logical_finished),
+            (server.timed_out, self._logical_timed_out),
+            (server.rejected, self._logical_rejected),
+        )
+        for index, (bucket, finalize) in enumerate(buckets):
+            cursor = replica.cursors[index]
+            while cursor < len(bucket):
+                shadow = bucket[cursor]
+                cursor += 1
+                logical = replica.shadow_of.pop(shadow.request_id, None)
+                if logical is not None:
+                    finalize(logical, shadow, replica)
+            replica.cursors[index] = cursor
+
+    @staticmethod
+    def _copy_progress(logical: InferenceRequest, shadow: InferenceRequest) -> None:
+        if shadow.start_time is not None:
+            logical.mark_started(shadow.start_time)
+        logical.retries += shadow.retries
+
+    def _logical_finished(self, logical, shadow, replica) -> None:
+        self._copy_progress(logical, shadow)
+        logical.result = shadow.result
+        logical.mark_finished(shadow.finish_time)
+        self._finished.append(logical)
+        replica.observe_latency(shadow.finish_time - shadow.arrival_time)
+
+    def _logical_timed_out(self, logical, shadow, replica) -> None:
+        self._copy_progress(logical, shadow)
+        logical.mark_timed_out(shadow.terminal_time, reason=shadow.cancel_reason)
+        self._timed_out.append(logical)
+
+    def _logical_rejected(self, logical, shadow, replica) -> None:
+        logical.mark_rejected(shadow.terminal_time, reason=shadow.cancel_reason)
+        self._rejected.append(logical)
+
+    # -- replica loss --------------------------------------------------------
+
+    def _replica_failed(self, replica_id: int) -> None:
+        """A replica drops out of the cluster fault plan's sky: drain its
+        observed outcomes, tear its engine down, re-route its live work."""
+        replica = next(
+            (r for r in self.replicas if r.replica_id == replica_id), None
+        )
+        if replica is None or replica.state in (DEAD, RETIRED):
+            return
+        now = self.loop.now()
+        # 1. Outcomes that happened strictly before the loss are real —
+        #    reconcile them first so they are not mistaken for casualties.
+        self._reconcile_replica(replica)
+        replica.state = DEAD
+        self.cluster_counters.replicas_lost += 1
+        self.scale_events.append((now, "lost", replica.replica_id))
+        # 2. Claim the still-live logical requests (deterministic shadow-id
+        #    order) *before* the teardown pushes their shadows into the
+        #    replica's timed_out list — reconciliation then skips those
+        #    unmapped shadows, and any late completions from a zombie
+        #    engine (baselines have no teardown hook) are ignored too.
+        orphans = replica.orphan_logicals()
+        manager = getattr(replica.server, "manager", None)
+        if manager is not None:
+            # BatchMaker: the faults layer's total-device-loss path cancels
+            # in-flight work and leaves no replica events on the shared loop.
+            manager.fail_all_devices()
+        # 3. Re-route through the cluster's own routing policy; reject only
+        #    on total loss.
+        for logical in orphans:
+            if logical.terminal:
+                continue
+            candidates = self._candidates()
+            if candidates:
+                target = self.router.choose(logical, candidates)
+                target.route(logical, now)
+                self.cluster_counters.requests_rerouted += 1
+            else:
+                logical.mark_rejected(now, reason="no_replicas")
+                self.cluster_counters.requests_lost += 1
+                self._rejected.append(logical)
+
+    # -- reporting -----------------------------------------------------------
+
+    def fault_counters(self):
+        """Engine-level fault counters aggregated across all replicas."""
+        return aggregate_fault_counters(self.replicas)
+
+    def stats(self) -> ClusterStats:
+        return ClusterStats(self)
+
+    def tasks_submitted(self) -> int:
+        return sum(
+            replica.server.tasks_submitted()
+            for replica in self.replicas
+            if hasattr(replica.server, "tasks_submitted")
+        )
+
+    def mean_batch_size(self) -> float:
+        sizes = [
+            replica.server.mean_batch_size()
+            for replica in self.replicas
+            if hasattr(replica.server, "mean_batch_size") and replica.routed
+        ]
+        if not sizes:
+            return 0.0
+        return sum(sizes) / len(sizes)
+
+    def __repr__(self) -> str:
+        states = ", ".join(
+            f"r{r.replica_id}:{r.state}" for r in self.replicas
+        )
+        return f"<ClusterServer {self.name!r} [{states}]>"
+
+
+def build_cluster(
+    spec: ClusterSpec,
+    loop: Optional[EventLoop] = None,
+    replica_failures: Sequence = (),
+    **replica_runtime: Any,
+) -> ClusterServer:
+    """Construct the cluster a :class:`ClusterSpec` describes (the cluster
+    analogue of :func:`repro.registry.build_server`)."""
+    return ClusterServer(
+        spec, loop=loop, replica_failures=replica_failures, **replica_runtime
+    )

@@ -1,0 +1,52 @@
+"""Cluster-level fault handling: replica loss.
+
+Replica failures reuse the :mod:`repro.faults` machinery one level up:
+like device losses, they are *scheduled deterministically* — explicit
+``(time, replica_id)`` pairs, so chaos tests can place the loss exactly
+where it hurts — and the engine-side teardown of a dying BatchMaker
+replica goes through the same total-device-loss path the faults layer
+already guarantees leaves the event loop clean.
+
+What the cluster adds on top (see ``ClusterServer._replica_failed``):
+
+* the dead replica stops being routable immediately;
+* its still-live logical requests are *re-routed* — fresh shadows on
+  surviving replicas, chosen by the cluster's own routing policy in
+  deterministic shadow-id order — rather than failed;
+* only when no serving replica remains are requests rejected
+  (``"no_replicas"``), mirroring the single-server ``"no_devices"``
+  behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.faults import DeviceFailure
+
+
+class ReplicaFailure(DeviceFailure):
+    """One replica dropping out at a virtual time.  Shares the
+    :class:`~repro.faults.DeviceFailure` shape — a replica is a device at
+    cluster granularity."""
+
+    @property
+    def replica_id(self) -> int:
+        return self.device_id
+
+    def __repr__(self) -> str:
+        return f"<ReplicaFailure replica{self.replica_id} at t={self.time:g}>"
+
+
+def normalize_failures(failures: Sequence) -> List[ReplicaFailure]:
+    """Accept ``ReplicaFailure`` / ``DeviceFailure`` instances or bare
+    ``(time, replica_id)`` pairs; return them sorted by (time, id) so the
+    injection order never depends on caller iteration order."""
+    normalized = []
+    for failure in failures:
+        if isinstance(failure, DeviceFailure):
+            normalized.append(ReplicaFailure(failure.time, failure.device_id))
+        else:
+            time, replica_id = failure
+            normalized.append(ReplicaFailure(time, replica_id))
+    return sorted(normalized, key=lambda f: (f.time, f.replica_id))

@@ -1,0 +1,102 @@
+"""Cross-replica metric aggregation.
+
+One replica's engine already tallies its own :class:`FaultCounters`;
+cluster reporting needs those *summed across replicas* plus the
+cluster-only events (losses, re-routes, scale actions) that no single
+engine can see.  ``ClusterStats`` renders the per-replica breakdown the
+way ``ServerStats`` does for one server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.counters import FaultCounters
+from repro.metrics.summary import format_table
+
+
+class ClusterCounters:
+    """Monotonic tallies of cluster-level events (the engine-level fault
+    counters live per replica and are aggregated separately)."""
+
+    FIELDS = (
+        "replicas_lost",        # replica failures injected
+        "requests_rerouted",    # live logical requests re-routed off a dead replica
+        "requests_lost",        # in-flight requests rejected on total loss
+        "cluster_rejections",   # arrivals rejected with no routable replica
+        "replicas_spawned",     # autoscaler scale-ups
+        "replicas_retired",     # autoscaler drains completed
+    )
+
+    def __init__(self):
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{field}={getattr(self, field)}"
+            for field in self.FIELDS
+            if getattr(self, field)
+        )
+        return f"<ClusterCounters {parts or 'clean'}>"
+
+
+def aggregate_fault_counters(replicas) -> FaultCounters:
+    """Sum every replica engine's fault counters (replicas without fault
+    machinery — the graph-batching baselines — contribute zeros)."""
+    total = FaultCounters()
+    for replica in replicas:
+        counters = getattr(replica.server, "fault_counters", None)
+        if counters is None:
+            continue
+        for field, value in counters().as_dict().items():
+            setattr(total, field, getattr(total, field) + value)
+    return total
+
+
+class ClusterStats:
+    """Snapshot of a cluster's per-replica and aggregate state."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.rows: List[List[str]] = []
+        for replica in cluster.replicas:
+            server = replica.server
+            self.rows.append(
+                [
+                    str(replica.replica_id),
+                    replica.state,
+                    str(replica.routed),
+                    str(len(server.finished)),
+                    str(len(server.timed_out)),
+                    str(len(server.rejected)),
+                    str(replica.outstanding()),
+                    f"{replica.ewma_latency * 1e3:.2f}",
+                ]
+            )
+
+    def report(self) -> str:
+        lines = [
+            f"== {self.cluster.name}: {len(self.cluster.replicas)} replicas, "
+            f"router={self.cluster.router.name} ==",
+            format_table(
+                [
+                    "replica", "state", "routed", "finished", "timed_out",
+                    "rejected", "outstanding", "ewma ms",
+                ],
+                self.rows,
+            ),
+        ]
+        cluster_counts = self.cluster.cluster_counters.as_dict()
+        if any(cluster_counts.values()):
+            lines.append(
+                "cluster events: "
+                + ", ".join(f"{k}={v}" for k, v in cluster_counts.items() if v)
+            )
+        engine = self.cluster.fault_counters()
+        if engine.any_faults():
+            lines.append(f"engine faults (aggregated): {engine!r}")
+        return "\n".join(lines)

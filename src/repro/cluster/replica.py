@@ -1,0 +1,130 @@
+"""One replica of the serving cluster.
+
+A :class:`Replica` wraps a server built from the cluster spec's replica
+template and tracks the *shadow* requests the cluster routed to it.  The
+cluster's logical requests never enter a replica engine directly — each
+routing decision materialises a fresh shadow :class:`InferenceRequest`
+(replica-local id, same payload, same absolute deadline) and hands it to
+the replica server's ``_accept`` at the logical arrival time.  That
+indirection is what makes replica loss recoverable: when a replica dies,
+the shadows die with it and the cluster re-routes the still-live logical
+requests as *new* shadows on survivors, while each logical request still
+reaches exactly one terminal state.
+
+With a single replica the shadow stream is, event for event, the stream a
+bare ``build_server()`` run would see (same ids, same arrival times, same
+event-loop sequence numbers), which is why a 1-replica cluster is
+bit-identical to the standalone server (``tests/test_cluster_identity``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.request import InferenceRequest
+from repro.server import InferenceServer
+
+# Replica lifecycle.  WARMING: built, paying the autoscaler's warm-up cost,
+# not yet routable.  ALIVE: routable.  DRAINING: autoscaler is retiring it —
+# no new work, serving out its outstanding shadows.  RETIRED: drained empty.
+# DEAD: lost to a replica failure.
+WARMING = "warming"
+ALIVE = "alive"
+DRAINING = "draining"
+RETIRED = "retired"
+DEAD = "dead"
+
+
+class Replica:
+    """A cluster member: one server plus the routing-side bookkeeping."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        server: InferenceServer,
+        state: str = ALIVE,
+        created_at: float = 0.0,
+    ):
+        self.replica_id = replica_id
+        self.server = server
+        self.state = state
+        self.created_at = created_at
+        self.activated_at: Optional[float] = created_at if state == ALIVE else None
+        # Shadows routed here whose logical request is still this replica's
+        # responsibility; reconciliation pops an entry when its shadow turns
+        # terminal, replica loss pops them all (re-route), after which any
+        # late completions from this replica are ignored.
+        self.shadow_of: Dict[int, InferenceRequest] = {}
+        self.routed = 0
+        self._next_shadow_id = 0
+        # Reconciliation cursors into the server's finished / timed_out /
+        # rejected lists (list order is deterministic, so lazy reconcile is
+        # deterministic too).
+        self.cursors = [0, 0, 0]
+        # EWMA of observed shadow latency; the shortest-queue router's
+        # projected-delay fallback for engines without a manager.
+        self.ewma_latency = 0.0
+
+    # -- routing interface ----------------------------------------------------
+
+    @property
+    def routable(self) -> bool:
+        return self.state == ALIVE
+
+    @property
+    def serving(self) -> bool:
+        return self.state in (ALIVE, DRAINING)
+
+    def outstanding(self) -> int:
+        """Shadows routed here that are not yet terminal (O(1): every shadow
+        ends up in exactly one of the server's terminal lists)."""
+        server = self.server
+        return self.routed - (
+            len(server.finished) + len(server.timed_out) + len(server.rejected)
+        )
+
+    def projected_delay(self) -> float:
+        """Seconds a new request would plausibly wait on this replica.
+
+        BatchMaker replicas expose the manager's projected queueing delay
+        (min device backlog + EWMA drain time of queued ready nodes); other
+        engines fall back to outstanding-requests x EWMA request latency.
+        """
+        manager = getattr(self.server, "manager", None)
+        if manager is not None:
+            if not any(w.alive for w in manager.workers):
+                return float("inf")
+            return manager.projected_queue_delay()
+        return self.ewma_latency * self.outstanding()
+
+    def observe_latency(self, latency: float) -> None:
+        if self.ewma_latency == 0.0:
+            self.ewma_latency = latency
+        else:
+            self.ewma_latency += 0.2 * (latency - self.ewma_latency)
+
+    # -- shadow lifecycle ------------------------------------------------------
+
+    def route(self, logical: InferenceRequest, now: float) -> InferenceRequest:
+        """Materialise a shadow for ``logical`` and start serving it."""
+        shadow = InferenceRequest(self._next_shadow_id, logical.payload, now)
+        self._next_shadow_id += 1
+        shadow.deadline = logical.deadline  # absolute; shared virtual clock
+        self.shadow_of[shadow.request_id] = logical
+        self.routed += 1
+        self.server._accept(shadow)
+        return shadow
+
+    def orphan_logicals(self):
+        """Pop and return every still-owned logical request in shadow-id
+        (= routing) order — the deterministic re-route order on replica
+        loss."""
+        orphans = [self.shadow_of[sid] for sid in sorted(self.shadow_of)]
+        self.shadow_of.clear()
+        return orphans
+
+    def __repr__(self) -> str:
+        return (
+            f"<Replica {self.replica_id} {self.state} "
+            f"routed={self.routed} outstanding={self.outstanding()}>"
+        )

@@ -1,0 +1,164 @@
+"""Front-end routing policies.
+
+A routing policy picks the replica that serves a newly arrived request.
+Candidates are always presented in ascending ``replica_id`` order — never
+dict/set iteration order — and every tie between equally attractive
+replicas is broken by :func:`tie_break`, a pure function of
+``(seed, request_id)`` over the tied ids (the determinism rule in
+DESIGN.md §11).  Re-running a workload therefore reproduces the exact
+routing decision sequence bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Type
+
+from repro.cluster.replica import Replica
+from repro.core.request import InferenceRequest
+from repro.faults import mix64
+
+
+def tie_break(seed: int, request_id: int, tied: Sequence[Replica]) -> Replica:
+    """Deterministic choice among equally good replicas: a stable integer
+    mix of ``(seed, request_id)`` indexes the tied list (which callers keep
+    in replica-id order).  No ``hash()``, no iteration-order dependence."""
+    if len(tied) == 1:
+        return tied[0]
+    return tied[mix64(seed, request_id) % len(tied)]
+
+
+def payload_length(payload: Any) -> int:
+    """A request's scheduling-relevant length, for length-bucketed routing.
+
+    Covers every payload shape the workloads produce: bare int lengths
+    (chain models), token lists, seq2seq ``{"src", "tgt_len"}`` dicts and
+    tree payloads (node count); anything else buckets as length 0.
+    """
+    if isinstance(payload, bool):
+        return 0
+    if isinstance(payload, int):
+        return payload
+    if isinstance(payload, dict):
+        return int(payload.get("src", 0)) + int(payload.get("tgt_len", 0))
+    num_nodes = getattr(payload, "num_nodes", None)
+    if callable(num_nodes):
+        return int(num_nodes())
+    try:
+        return len(payload)
+    except TypeError:
+        return 0
+
+
+class RoutingPolicy:
+    """Picks one of the candidate replicas for an arriving request.
+
+    ``candidates`` is non-empty and sorted by ``replica_id``; the policy
+    must not mutate it.  A policy may keep internal state (the round-robin
+    cursor), but that state must evolve only through ``choose`` calls so
+    a fixed workload replays to the same decisions.
+    """
+
+    name = "?"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.decisions = 0
+
+    def choose(
+        self, request: InferenceRequest, candidates: List[Replica]
+    ) -> Replica:
+        self.decisions += 1
+        return self._choose(request, candidates)
+
+    def _choose(
+        self, request: InferenceRequest, candidates: List[Replica]
+    ) -> Replica:
+        raise NotImplementedError
+
+    def _best(
+        self,
+        request: InferenceRequest,
+        candidates: List[Replica],
+        key: Callable[[Replica], float],
+    ) -> Replica:
+        """Min-by-key with the seeded tie-break over all minimisers."""
+        best = min(key(replica) for replica in candidates)
+        tied = [replica for replica in candidates if key(replica) == best]
+        return tie_break(self.seed, request.request_id, tied)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} seed={self.seed} decisions={self.decisions}>"
+
+
+class RoundRobinRouter(RoutingPolicy):
+    """Cycle through the candidates in replica-id order.  Oblivious to
+    load and length — the baseline every smarter policy is judged against."""
+
+    name = "round_robin"
+
+    def _choose(self, request, candidates):
+        # decisions was already incremented; index with the pre-increment
+        # value so the cycle starts at replica 0.
+        return candidates[(self.decisions - 1) % len(candidates)]
+
+
+class LeastOutstandingRouter(RoutingPolicy):
+    """Send to the replica with the fewest in-flight requests — the classic
+    front-end balancer (ties seeded)."""
+
+    name = "least_outstanding"
+
+    def _choose(self, request, candidates):
+        return self._best(request, candidates, lambda r: r.outstanding())
+
+
+class ShortestQueueRouter(RoutingPolicy):
+    """Join the shortest queue by *projected delay* rather than raw count:
+    each replica reports its EWMA-estimated queueing delay (device backlog
+    plus estimated drain time of queued work), so a replica stuck behind a
+    few long sequences looks longer than one with many short ones."""
+
+    name = "shortest_queue"
+
+    def _choose(self, request, candidates):
+        return self._best(request, candidates, lambda r: r.projected_delay())
+
+
+class LengthBucketedRouter(RoutingPolicy):
+    """Send similar-length requests to the same replica.
+
+    Requests whose lengths fall in the same ``bucket_width``-wide band
+    land on the same replica (bucket index modulo the candidate count), so
+    each replica's queues hold cells at similar progress — denser batches
+    at the cost of ignoring instantaneous load.  Deterministic with no
+    ties: the decision is a pure function of the payload length and the
+    candidate count.
+    """
+
+    name = "length_bucketed"
+
+    def __init__(self, seed: int = 0, bucket_width: int = 16):
+        super().__init__(seed)
+        if bucket_width < 1:
+            raise ValueError("bucket_width must be >= 1")
+        self.bucket_width = int(bucket_width)
+
+    def _choose(self, request, candidates):
+        bucket = payload_length(request.payload) // self.bucket_width
+        return candidates[bucket % len(candidates)]
+
+
+ROUTERS: Dict[str, Type[RoutingPolicy]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastOutstandingRouter.name: LeastOutstandingRouter,
+    ShortestQueueRouter.name: ShortestQueueRouter,
+    LengthBucketedRouter.name: LengthBucketedRouter,
+}
+
+
+def make_router(name: str, seed: int = 0, **params: Any) -> RoutingPolicy:
+    """Instantiate a routing policy by registered name."""
+    cls = ROUTERS.get(name)
+    if cls is None:
+        raise KeyError(f"unknown routing policy {name!r} (have: {sorted(ROUTERS)})")
+    return cls(seed=seed, **params)

@@ -325,6 +325,15 @@ class Manager:
             dead_worker_id, self.workers
         )
 
+    def fail_all_devices(self) -> None:
+        """Whole-server loss (``repro.cluster`` replica failure): drop every
+        device.  The last loss takes the total-loss path — live requests are
+        cancelled (``"no_devices"``) and the loop is left clean, so a dead
+        replica schedules no further work."""
+        for worker in self.workers:
+            if worker.alive:
+                self._device_failed(worker)
+
     # -- SLA: deadlines and cancellation ------------------------------------
 
     def _deadline_expired(self, request: InferenceRequest) -> None:

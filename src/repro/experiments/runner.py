@@ -27,6 +27,7 @@ from repro.experiments import (
     fig13_seq2seq,
     fig14_treelstm,
     fig15_fixed_tree,
+    fig_cluster,
     fig_faults,
     summary,
 )
@@ -42,6 +43,7 @@ EXPERIMENTS: Dict[str, Callable[..., dict]] = {
     "fig13": fig13_seq2seq.main,
     "fig14": fig14_treelstm.main,
     "fig15": fig15_fixed_tree.main,
+    "fig_cluster": fig_cluster.main,
     "fig_faults": fig_faults.main,
     "ablations": ablations.main,
     "summary": summary.main,

@@ -22,6 +22,7 @@ from repro.faults.plan import (
     DeviceFailure,
     FaultPlan,
     TaskFault,
+    mix64,
 )
 from repro.faults.sla import RetryPolicy, SLAConfig
 from repro.metrics.counters import FaultCounters
@@ -35,4 +36,5 @@ __all__ = [
     "RetryPolicy",
     "SLAConfig",
     "FaultCounters",
+    "mix64",
 ]

@@ -56,14 +56,23 @@ class DeviceFailure:
         return f"<DeviceFailure gpu{self.device_id} at t={self.time:g}>"
 
 
-def _mix(seed: int, task_id: int, attempt: int) -> int:
-    """Stable integer mix of the draw key (no ``hash()``: that would vary
-    with PYTHONHASHSEED and break cross-run determinism)."""
+def mix64(seed: int, *parts: int) -> int:
+    """Stable integer mix of a draw key (no ``hash()``: that would vary
+    with PYTHONHASHSEED and break cross-run determinism).
+
+    Shared by the fault plan's per-task draws and the cluster router's
+    tie-breaks — every pseudo-random decision in the repo that must be a
+    pure function of its key goes through this mix.
+    """
     x = (seed & 0xFFFFFFFFFFFFFFFF) ^ 0x9E3779B97F4A7C15
-    for part in (task_id, attempt):
+    for part in parts:
         x = (x * 6364136223846793005 + part + 1442695040888963407) % (1 << 64)
         x ^= x >> 31
     return x
+
+
+def _mix(seed: int, task_id: int, attempt: int) -> int:
+    return mix64(seed, task_id, attempt)
 
 
 class FaultPlan:

@@ -8,8 +8,7 @@ and figure-specific helpers used by ``repro.experiments.runner --plot-dir``.
 """
 
 from repro.plot.axes import Axis, LinearScale, LogScale, nice_ticks
-from repro.plot.chart import Chart, Series
-from repro.plot.charts import cdf_chart, sweep_chart, timeline_chart
+from repro.plot.chart import Chart, Series, cdf_chart, sweep_chart, timeline_chart
 from repro.plot.svg import SvgCanvas
 
 __all__ = [

@@ -1,8 +1,11 @@
-"""The Chart: series + axes -> SVG."""
+"""Charting: the :class:`Chart` core (series + axes -> SVG) plus the
+figure-shaped builders (``sweep_chart`` / ``cdf_chart`` / ``timeline_chart``)
+the experiment harness renders with.  (``repro.plot.charts`` is a
+backwards-compatible alias of this module.)"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.plot.axes import Axis
 from repro.plot.svg import SvgCanvas
@@ -160,3 +163,69 @@ class Chart:
     def save(self, path) -> None:
         with open(path, "w") as f:
             f.write(self.render())
+
+
+# -- figure-shaped builders used by the experiment harness -------------------
+
+
+def sweep_chart(
+    title: str,
+    summaries_by_system: Dict[str, List],
+    latency_cap_ms: float = 500.0,
+) -> Chart:
+    """Figure-7/13/14-style chart: achieved throughput vs p90 latency."""
+    chart = Chart(
+        title,
+        x_label="Throughput (req/s)",
+        y_label="90p latency (ms)",
+    )
+    chart.cap_y(latency_cap_ms)
+    for system, summaries in summaries_by_system.items():
+        points = [(s.throughput, s.p90_ms) for s in summaries]
+        chart.add(Series(system, points))
+    return chart
+
+
+def cdf_chart(
+    title: str,
+    series_points: Dict[str, Sequence[Tuple[float, float]]],
+    x_label: str = "Time (ms)",
+    x_log: bool = True,
+) -> Chart:
+    """Figure-9/10-style chart: cumulative fraction vs value."""
+    chart = Chart(
+        title,
+        x_label=x_label,
+        y_label="Cumulative fraction",
+        x_log=x_log,
+    )
+    for name, points in series_points.items():
+        chart.add(Series(name, list(points), style="step"))
+    return chart
+
+
+def timeline_chart(
+    title: str,
+    request_windows: Dict[str, Tuple[float, float, float]],
+) -> Chart:
+    """Figure-5-style chart: one horizontal bar per request.
+
+    ``request_windows`` maps a request name to (arrival, start, finish);
+    rendered as markers at arrival/start and a line to finish, stacked by
+    insertion order.
+    """
+    chart = Chart(
+        title, x_label="Time (units)", y_label="Request (index)", height=360
+    )
+    for index, (name, (arrival, start, finish)) in enumerate(
+        request_windows.items()
+    ):
+        y = float(len(request_windows) - index)
+        chart.add(
+            Series(
+                name,
+                [(arrival, y), (start, y), (finish, y)],
+                style="line+marker",
+            )
+        )
+    return chart

@@ -16,11 +16,12 @@ with one path:
 
 from repro.registry.builders import build_server
 from repro.registry.models import MODELS, make_model
-from repro.registry.specs import KINDS, ServerSpec
+from repro.registry.specs import KINDS, ClusterSpec, ServerSpec
 from repro.registry import presets
 
 __all__ = [
     "ServerSpec",
+    "ClusterSpec",
     "KINDS",
     "MODELS",
     "make_model",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.config import BatchingConfig
-from repro.registry.specs import ServerSpec
+from repro.registry.specs import ClusterSpec, ServerSpec
 
 # Per-batch fixed overheads for the two padding baselines: in the paper's
 # Figure 7 TensorFlow tracks MXNet closely but slightly worse; the gap is a
@@ -169,6 +169,54 @@ def fixed_tree_ideal_spec(
             "max_batch": max_batch,
         },
     )
+
+
+def lstm_cluster_spec(
+    num_replicas: int = 2,
+    router: str = "round_robin",
+    num_gpus: int = 1,
+    max_batch: int = 512,
+    seed: int = 0,
+    autoscaler: Optional[Dict] = None,
+    router_params: Optional[Dict] = None,
+) -> ClusterSpec:
+    """N BatchMaker LSTM replicas behind a front-end router (fig_cluster)."""
+    return ClusterSpec(
+        replica=lstm_batchmaker_spec(max_batch=max_batch, num_gpus=num_gpus),
+        num_replicas=num_replicas,
+        router=router,
+        router_params=router_params or {},
+        seed=seed,
+        autoscaler=autoscaler,
+        name=f"BatchMaker x{num_replicas} ({router})",
+    )
+
+
+def seq2seq_cluster_spec(
+    num_replicas: int = 2, router: str = "least_outstanding", seed: int = 0
+) -> ClusterSpec:
+    """Seq2Seq replica cluster (each replica the Figure-13 2-GPU config)."""
+    return ClusterSpec(
+        replica=seq2seq_batchmaker_spec(),
+        num_replicas=num_replicas,
+        router=router,
+        seed=seed,
+        name=f"BatchMaker-seq2seq x{num_replicas} ({router})",
+    )
+
+
+def all_cluster_specs() -> Dict[str, ClusterSpec]:
+    """Every cluster configuration the fig_cluster experiment evaluates."""
+    specs: Dict[str, ClusterSpec] = {}
+    for router in (
+        "round_robin",
+        "least_outstanding",
+        "shortest_queue",
+        "length_bucketed",
+    ):
+        specs[f"cluster_lstm_{router}"] = lstm_cluster_spec(router=router)
+    specs["cluster_seq2seq"] = seq2seq_cluster_spec()
+    return specs
 
 
 def all_fig_specs() -> Dict[str, ServerSpec]:

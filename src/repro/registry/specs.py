@@ -111,3 +111,98 @@ class ServerSpec:
             f"ServerSpec({self.kind}, model={self.model}, "
             f"num_gpus={self.num_gpus}, name={label!r})"
         )
+
+
+class ClusterSpec:
+    """A serving cluster, as data: N replicas of one :class:`ServerSpec`
+    behind a front-end router (see :mod:`repro.cluster`).
+
+    Parameters
+    ----------
+    replica:
+        The spec every replica is built from (the cluster is homogeneous;
+        heterogeneity would break length-bucketed routing's premise that
+        any replica can serve any bucket equally).
+    num_replicas:
+        Initial replica count (the autoscaler may add or drain replicas
+        at runtime, within its configured bounds).
+    router:
+        Routing-policy name (``round_robin`` / ``least_outstanding`` /
+        ``shortest_queue`` / ``length_bucketed``); validated when the
+        cluster is built, so specs stay plain data.
+    router_params:
+        Policy knobs, e.g. ``{"bucket_width": 16}`` for length-bucketed
+        routing.
+    seed:
+        Base seed for routing tie-breaks — every tie-break is a pure
+        function of ``(seed, request_id)`` and the tied replica ids.
+    autoscaler:
+        ``AutoscalerConfig.to_dict()`` form (see
+        :mod:`repro.cluster.autoscaler`); None disables autoscaling and
+        the cluster keeps exactly ``num_replicas`` replicas.
+    name:
+        Display name; None derives one from the router and replica count.
+    """
+
+    def __init__(
+        self,
+        replica: "ServerSpec",
+        num_replicas: int = 1,
+        router: str = "round_robin",
+        router_params: Optional[Dict[str, Any]] = None,
+        seed: int = 0,
+        autoscaler: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+    ):
+        if not isinstance(replica, ServerSpec):
+            raise TypeError(f"replica must be a ServerSpec, got {type(replica)!r}")
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        self.replica = replica
+        self.num_replicas = int(num_replicas)
+        self.router = router
+        self.router_params = dict(router_params or {})
+        self.seed = int(seed)
+        self.autoscaler = dict(autoscaler) if autoscaler is not None else None
+        self.name = name
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "replica": self.replica.to_dict(),
+            "num_replicas": self.num_replicas,
+            "router": self.router,
+            "router_params": dict(self.router_params),
+            "seed": self.seed,
+            "autoscaler": dict(self.autoscaler) if self.autoscaler is not None else None,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClusterSpec":
+        return cls(
+            replica=ServerSpec.from_dict(data["replica"]),
+            num_replicas=data.get("num_replicas", 1),
+            router=data.get("router", "round_robin"),
+            router_params=data.get("router_params"),
+            seed=data.get("seed", 0),
+            autoscaler=data.get("autoscaler"),
+            name=data.get("name"),
+        )
+
+    def replace(self, **changes: Any) -> "ClusterSpec":
+        """A copy with the given fields replaced (specs are value objects)."""
+        data = self.to_dict()
+        data.update(changes)
+        if isinstance(data["replica"], ServerSpec):  # replace(replica=spec)
+            data["replica"] = data["replica"].to_dict()
+        return ClusterSpec.from_dict(data)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, ClusterSpec) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterSpec({self.router} x{self.num_replicas}, "
+            f"replica={self.replica!r}, "
+            f"autoscaler={'on' if self.autoscaler else 'off'})"
+        )

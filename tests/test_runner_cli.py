@@ -33,7 +33,8 @@ class TestRunnerCLI:
         # registry exactly (execution of 'all' is the benchmark suite's job).
         assert set(runner.EXPERIMENTS) == {
             "fig3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig13", "fig14", "fig15", "fig_faults", "ablations", "summary",
+            "fig13", "fig14", "fig15", "fig_cluster", "fig_faults",
+            "ablations", "summary",
         }
 
     def test_fig3_quick(self, capsys):
