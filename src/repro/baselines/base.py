@@ -36,6 +36,7 @@ class GraphBatchingServer(InferenceServer):
         self._dispatch = self.deferred_kicker(self._dispatch_idle_devices)
         self.batches_executed = 0
         self.batch_sizes: List[int] = []
+        self._autotrace()
 
     # -- subclass policy ------------------------------------------------------
 
@@ -50,7 +51,22 @@ class GraphBatchingServer(InferenceServer):
 
     # -- dispatch loop -----------------------------------------------------------
 
+    def _per_request_padding(self, requests, duration: float) -> List[float]:
+        """Seconds of ``duration`` that are padding waste for each request
+        (slots computed past the request's own length).  The base policy
+        pads nothing; :class:`~repro.baselines.padded.PaddedServer`
+        overrides with its per-phase bucket-ceiling formula."""
+        return [0.0] * len(requests)
+
     def _accept(self, request: InferenceRequest) -> None:
+        if self._trace is not None:
+            from repro.trace import events as trace_events
+
+            self._trace.instant(
+                trace_events.REQUEST_ARRIVAL,
+                trace_events.LIFECYCLE,
+                request_id=request.request_id,
+            )
         self._enqueue(request)
         # Defer dispatch to the end of the current timestamp so that
         # simultaneously-arriving requests land in one batch rather than the
@@ -77,6 +93,24 @@ class GraphBatchingServer(InferenceServer):
                 request.mark_started(now)
             self.batches_executed += 1
             self.batch_sizes.append(len(requests))
+            if self._trace is not None:
+                # The device is idle, so the fused graph starts now and its
+                # duration is already known: the whole batch span can be
+                # recorded at dispatch, with each member's padding share.
+                from repro.trace import events as trace_events
+
+                self._trace.span(
+                    trace_events.BATCH,
+                    trace_events.COMPUTE,
+                    now,
+                    duration,
+                    device_id=device_id,
+                    args={
+                        "requests": [r.request_id for r in requests],
+                        "padding": self._per_request_padding(requests, duration),
+                        "batch": len(requests),
+                    },
+                )
             device.run_for(
                 duration,
                 on_complete=lambda reqs=requests, d=device_id: self._batch_done(

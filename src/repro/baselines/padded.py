@@ -114,6 +114,25 @@ class PaddedServer(GraphBatchingServer):
                 return batch, self._duration(key, batch)
         return None
 
+    def _per_request_padding(self, requests, duration: float) -> List[float]:
+        """Padding waste per batch member: for every phase, the steps
+        computed beyond the request's own length, at that phase's per-step
+        time.  Mirrors :meth:`_duration` (first phase pads to the bucket
+        ceiling — equal to ``ceil(max)`` since the batch shares a bucket;
+        later phases to the batch max's ceiling)."""
+        pads = [0.0] * len(requests)
+        for phase_idx, cell_name in enumerate(self._phase_names):
+            padded_steps = self._ceil(
+                max(r.phase_steps[phase_idx] for r in requests)
+            )
+            step_time = (
+                self.cost_model.kernel_time(cell_name, len(requests))
+                + self.per_step_overhead
+            )
+            for i, r in enumerate(requests):
+                pads[i] += (padded_steps - r.phase_steps[phase_idx]) * step_time
+        return pads
+
     def _duration(self, key: Tuple[int, ...], batch) -> float:
         """Fused-graph time at the full batch size: the first phase runs its
         bucket-ceiling step count; each later phase runs until the longest

@@ -29,7 +29,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA = 3
+BENCH_SCHEMA = 4
 DEFAULT_DEPTHS = (250, 1000, 4000)
 SMOKE_DEPTHS = (250, 1000)
 # Policy bundles timed by bench_policy_overhead: decision rate of the
@@ -224,6 +224,59 @@ def bench_cluster_routing(
     return results
 
 
+def bench_trace(
+    record_events: int = 200_000, num_requests: int = 800, rate: float = 5000.0
+) -> Dict:
+    """Tracing cost: raw recording throughput and whole-run slowdown.
+
+    * ``events_per_sec`` — tight-loop instants into a ring-buffer recorder
+      (the per-event cost every instrumented site pays when tracing is on).
+    * ``slowdown_pct`` — wall-clock of one traced LSTM load point vs the
+      identical untraced run (best of 2 each); the end-to-end overhead the
+      zero-cost-when-disabled guards are protecting against.
+    """
+    from repro.experiments import common
+    from repro.sim.timebase import measure_best
+    from repro.trace.recorder import TraceRecorder
+    from repro.workload import LoadGenerator, SequenceDataset
+
+    class _FixedClock:
+        def now(self) -> float:
+            return 0.0
+
+    recorder = TraceRecorder(_FixedClock())
+    scope = recorder.scope()
+    start = time.perf_counter()
+    for i in range(record_events):
+        scope.instant("bench.event", "sched", request_id=i)
+    record_seconds = time.perf_counter() - start
+    events_per_sec = record_events / record_seconds if record_seconds else 0.0
+
+    def run_once(traced: bool) -> None:
+        server = common.lstm_batchmaker()
+        if traced:
+            server.attach_trace(TraceRecorder(server.loop))
+        generator = LoadGenerator(rate=rate, num_requests=num_requests, seed=7)
+        generator.run(server, SequenceDataset(seed=1))
+
+    run_once(False)  # warm caches before timing either variant
+    untraced_s = measure_best(lambda: run_once(False), repeats=2)
+    traced_s = measure_best(lambda: run_once(True), repeats=2)
+    slowdown_pct = (
+        100.0 * (traced_s - untraced_s) / untraced_s if untraced_s else None
+    )
+    return {
+        "record_events": record_events,
+        "record_seconds": record_seconds,
+        "events_per_sec": events_per_sec,
+        "us_per_event": 1e6 / events_per_sec if events_per_sec else None,
+        "run_requests": num_requests,
+        "untraced_seconds": untraced_s,
+        "traced_seconds": traced_s,
+        "slowdown_pct": slowdown_pct,
+    }
+
+
 def bench_fig7_quick(jobs: int = 2) -> Dict:
     """Wall-clock of the quick Fig-7 LSTM sweep, serial vs parallel, plus
     an identical-results cross-check."""
@@ -297,6 +350,10 @@ def run_engine_bench(smoke: bool = False, jobs: int = 2) -> Dict:
             max_seconds=0.25 if smoke else 1.0,
             max_decisions=50_000 if smoke else 200_000,
         ),
+        "trace": bench_trace(
+            record_events=50_000 if smoke else 200_000,
+            num_requests=300 if smoke else 800,
+        ),
     }
     if not smoke:
         bench["fig7_quick"] = bench_fig7_quick(jobs=jobs)
@@ -331,6 +388,13 @@ def check_regression(current: Dict, baseline_path: str) -> List[str]:
                 f"cluster routing {name}: {cur_rate:,.0f} decisions/s is more "
                 f"than {REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
             )
+    base_trace = baseline.get("trace", {}).get("events_per_sec")
+    cur_trace = current.get("trace", {}).get("events_per_sec")
+    if base_trace and cur_trace and cur_trace < base_trace / REGRESSION_FACTOR:
+        failures.append(
+            f"trace recording: {cur_trace:,.0f} events/s is more than "
+            f"{REGRESSION_FACTOR}x below baseline {base_trace:,.0f}"
+        )
     return failures
 
 
@@ -360,6 +424,13 @@ def _print_report(bench: Dict) -> None:
             for name, entry in cluster.items()
         ]
         print(f"cluster routing @{replicas} replicas: " + ", ".join(parts))
+    trace = bench.get("trace")
+    if trace:
+        print(
+            f"trace: {trace['events_per_sec']:,.0f} events/s recorded "
+            f"({trace['us_per_event']:.2f} us/event), traced run "
+            f"{trace['slowdown_pct']:+.1f}% vs untraced"
+        )
     fig7 = bench.get("fig7_quick")
     if fig7:
         par = (

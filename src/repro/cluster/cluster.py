@@ -40,6 +40,7 @@ from repro.registry import build_server
 from repro.registry.specs import ClusterSpec
 from repro.server import InferenceServer, ensure_loop
 from repro.sim.events import EventLoop
+from repro.trace import events as trace_events
 
 
 class ClusterServer(InferenceServer):
@@ -98,6 +99,21 @@ class ClusterServer(InferenceServer):
                 max(failure.time, self.loop.now()),
                 lambda rid=failure.replica_id: self._replica_failed(rid),
             )
+        self._autotrace()
+
+    # -- tracing -------------------------------------------------------------
+
+    def _apply_trace_scope(self, scope) -> None:
+        """The cluster records routing/lifecycle events under its own scope
+        (replica_id None) and re-attaches every replica's engine to the
+        shared recorder under that replica's id, so one buffer holds the
+        whole cluster with per-replica lineage."""
+        recorder = self.trace_recorder
+        for replica in self.replicas:
+            replica.server.attach_trace(
+                recorder,
+                replica_id=replica.replica_id if recorder is not None else None,
+            )
 
     # -- terminal lists: reconciled views -----------------------------------
     # The base class assigns plain lists in __init__; these properties keep
@@ -148,6 +164,8 @@ class ClusterServer(InferenceServer):
             replica_id, server, state=state, created_at=self.loop.now()
         )
         self.replicas.append(replica)
+        if self.trace_recorder is not None:
+            server.attach_trace(self.trace_recorder, replica_id=replica_id)
         return replica
 
     def _spawn_replica(self, now: float) -> Replica:
@@ -157,6 +175,12 @@ class ClusterServer(InferenceServer):
         replica = self._add_replica(state=WARMING if warmup > 0 else ALIVE)
         self.cluster_counters.replicas_spawned += 1
         self.scale_events.append((now, "spawn", replica.replica_id))
+        if self._trace is not None:
+            self._trace.instant(
+                trace_events.REPLICA_SPAWN,
+                trace_events.CLUSTER,
+                args={"replica": replica.replica_id, "warmup": warmup},
+            )
         if warmup > 0:
             self.loop.call_after(
                 warmup, lambda: self._activate_replica(replica)
@@ -174,6 +198,21 @@ class ClusterServer(InferenceServer):
         self.scale_events.append(
             (self.loop.now(), "activate", replica.replica_id)
         )
+        if self._trace is not None:
+            now = self.loop.now()
+            self._trace.instant(
+                trace_events.REPLICA_ACTIVATE,
+                trace_events.CLUSTER,
+                args={"replica": replica.replica_id},
+            )
+            # The autoscale warm-up window, from build to routable.
+            self._trace.span(
+                trace_events.REPLICA_WARMUP,
+                trace_events.CLUSTER,
+                replica.created_at,
+                now - replica.created_at,
+                args={"replica": replica.replica_id},
+            )
 
     def _drain_replica(self, now: float) -> None:
         """Autoscaler scale-down: stop routing to the least-loaded alive
@@ -211,13 +250,39 @@ class ClusterServer(InferenceServer):
         self._reconcile()
         candidates = self._candidates()
         now = self.loop.now()
+        if self._trace is not None:
+            self._trace.instant(
+                trace_events.REQUEST_ARRIVAL,
+                trace_events.LIFECYCLE,
+                request_id=request.request_id,
+            )
         if not candidates:
             request.mark_rejected(now, reason="no_replicas")
             self.cluster_counters.cluster_rejections += 1
             self._rejected.append(request)
+            if self._trace is not None:
+                self._trace.instant(
+                    trace_events.REQUEST_REJECTED,
+                    trace_events.LIFECYCLE,
+                    request_id=request.request_id,
+                    args={"reason": "no_replicas"},
+                )
             return
         replica = self.router.choose(request, candidates)
-        replica.route(request, now)
+        shadow = replica.route(request, now)
+        if self._trace is not None:
+            # The (replica, shadow) -> logical mapping: what lets the
+            # analyzers stitch a request's cross-replica tree back together.
+            self._trace.instant(
+                trace_events.CLUSTER_ROUTE,
+                trace_events.CLUSTER,
+                request_id=request.request_id,
+                args={
+                    "logical": request.request_id,
+                    "replica": replica.replica_id,
+                    "shadow": shadow.request_id,
+                },
+            )
         if self.autoscaler is not None:
             self.autoscaler.observe(now)
 
@@ -287,6 +352,12 @@ class ClusterServer(InferenceServer):
         replica.state = DEAD
         self.cluster_counters.replicas_lost += 1
         self.scale_events.append((now, "lost", replica.replica_id))
+        if self._trace is not None:
+            self._trace.instant(
+                trace_events.REPLICA_LOST,
+                trace_events.CLUSTER,
+                args={"replica": replica.replica_id},
+            )
         # 2. Claim the still-live logical requests (deterministic shadow-id
         #    order) *before* the teardown pushes their shadows into the
         #    replica's timed_out list — reconciliation then skips those
@@ -306,12 +377,31 @@ class ClusterServer(InferenceServer):
             candidates = self._candidates()
             if candidates:
                 target = self.router.choose(logical, candidates)
-                target.route(logical, now)
+                shadow = target.route(logical, now)
                 self.cluster_counters.requests_rerouted += 1
+                if self._trace is not None:
+                    self._trace.instant(
+                        trace_events.CLUSTER_REROUTE,
+                        trace_events.CLUSTER,
+                        request_id=logical.request_id,
+                        args={
+                            "logical": logical.request_id,
+                            "replica": target.replica_id,
+                            "shadow": shadow.request_id,
+                            "from": replica.replica_id,
+                        },
+                    )
             else:
                 logical.mark_rejected(now, reason="no_replicas")
                 self.cluster_counters.requests_lost += 1
                 self._rejected.append(logical)
+                if self._trace is not None:
+                    self._trace.instant(
+                        trace_events.REQUEST_REJECTED,
+                        trace_events.LIFECYCLE,
+                        request_id=logical.request_id,
+                        args={"reason": "no_replicas"},
+                    )
 
     # -- reporting -----------------------------------------------------------
 

@@ -86,6 +86,13 @@ class BatchMakerServer(InferenceServer):
             policies=policies,
         )
         self.policies = self.manager.policies
+        self._autotrace()
+
+    def _apply_trace_scope(self, scope) -> None:
+        """Push the scope into the pipeline: the manager records request
+        lifecycle and task spans, the scheduler batch-formation/eviction."""
+        self.manager.trace = scope
+        self.manager.scheduler.trace = scope
 
     def _accept(self, request: InferenceRequest) -> None:
         self.manager.submit_request(request)

@@ -41,6 +41,7 @@ from repro.metrics.counters import FaultCounters
 from repro.policies import PolicyBundle
 from repro.server import DeferredKick
 from repro.sim.events import EventLoop
+from repro.trace import events as trace_events
 
 if TYPE_CHECKING:  # avoids a circular import (models depend on core)
     from repro.models.base import Model
@@ -116,6 +117,9 @@ class Manager:
             )
             for device in make_devices(loop, num_workers)
         ]
+        # Tracing scope (repro.trace), pushed down by the owning server's
+        # attach_trace; None = record nothing (the zero-cost default).
+        self.trace = None
         self.finished_requests: List[InferenceRequest] = []
         # Same coalesced end-of-timestamp dispatch the graph-batching
         # baselines use (repro.server.DeferredKick): simultaneous arrivals
@@ -144,6 +148,12 @@ class Manager:
         simultaneously-arriving requests can be batched together instead of
         the first one grabbing an idle worker alone.
         """
+        if self.trace is not None:
+            self.trace.instant(
+                trace_events.REQUEST_ARRIVAL,
+                trace_events.LIFECYCLE,
+                request_id=request.request_id,
+            )
         reject_reason = None
         if self.fault_plan is not None and not any(w.alive for w in self.workers):
             # Every device is dead: without this check a request arriving
@@ -156,6 +166,13 @@ class Manager:
             request.mark_rejected(self.loop.now(), reason=reject_reason)
             self.fault_counters.requests_rejected += 1
             self.rejected_requests.append(request)
+            if self.trace is not None:
+                self.trace.instant(
+                    trace_events.REQUEST_REJECTED,
+                    trace_events.LIFECYCLE,
+                    request_id=request.request_id,
+                    args={"reason": reject_reason},
+                )
             if self._on_request_rejected is not None:
                 self._on_request_rejected(request)
             return
@@ -229,15 +246,45 @@ class Manager:
 
     def _task_complete(self, worker: Worker, task: BatchedTask) -> None:
         self.scheduler.task_completed(task)
+        if self.trace is not None:
+            self._trace_task_span(task, trace_events.COMPUTE, self.loop.now())
         self._observe_task(task)
         self.processor.handle_task_completion(task, self.loop.now())
         self._poke_idle_workers()
+
+    def _trace_task_span(self, task: BatchedTask, cat: str, end: float) -> None:
+        """One span per task execution, ending at its retire time.  The
+        device queued and ran it back-to-back on a FIFO stream, so the span
+        is ``[end - duration, end)``; the gather/migration share is carried
+        in args for the critical-path split."""
+        self.trace.span(
+            trace_events.TASK,
+            cat,
+            end - (task.duration or 0.0),
+            task.duration or 0.0,
+            device_id=task.worker_id,
+            task_id=task.task_id,
+            args={
+                "requests": [sg.request.request_id for sg in task.subgraphs()],
+                "gather": task.gather_time,
+                "migration": task.migration_time,
+                "cell": task.cell_type.name,
+                "batch": task.batch_size,
+                "attempt": task.attempt,
+            },
+        )
 
     def _finished(self, request: InferenceRequest) -> None:
         request.mark_finished(self.loop.now())
         self._disarm_timeout(request)
         self.fault_counters.requests_completed += 1
         self.finished_requests.append(request)
+        if self.trace is not None:
+            self.trace.instant(
+                trace_events.REQUEST_FINISHED,
+                trace_events.LIFECYCLE,
+                request_id=request.request_id,
+            )
         if self._on_request_finished is not None:
             self._on_request_finished(request)
 
@@ -249,6 +296,26 @@ class Manager:
         the failure budget is spent."""
         self.scheduler.task_completed(task)
         self.fault_counters.tasks_failed += 1
+        if self.trace is not None:
+            if reason == "device_lost":
+                # The kernel never retired: the device timeline is truncated
+                # at the death instant, so no execution span — an instant
+                # marks the casualty.
+                self.trace.instant(
+                    trace_events.TASK_DEVICE_LOST,
+                    trace_events.RETRY,
+                    device_id=task.worker_id,
+                    task_id=task.task_id,
+                    args={
+                        "requests": [
+                            sg.request.request_id for sg in task.subgraphs()
+                        ],
+                    },
+                )
+            else:
+                # Kernel fault detected at retire time: the device time was
+                # consumed, but by a failed attempt — charge it to retry.
+                self._trace_task_span(task, trace_events.RETRY, self.loop.now())
         retry = self.sla.retry if self.sla is not None else _DEFAULT_RETRY
         entries = [
             (sg, node) for sg, node in task.entries if not sg.request.terminal
@@ -267,6 +334,20 @@ class Manager:
         self.fault_counters.retries_attempted += 1
         for request in _distinct_requests(entries):
             request.retries += 1
+        if self.trace is not None:
+            self.trace.span(
+                trace_events.RETRY_BACKOFF,
+                trace_events.RETRY,
+                self.loop.now(),
+                delay,
+                task_id=task.task_id,
+                args={
+                    "requests": [
+                        r.request_id for r in _distinct_requests(entries)
+                    ],
+                    "attempt": task.attempt,
+                },
+            )
         self.loop.call_after(delay, lambda: self._run_retry(task))
         self._poke_idle_workers()
 
@@ -304,6 +385,12 @@ class Manager:
         if not worker.alive:
             return
         self.fault_counters.device_failures += 1
+        if self.trace is not None:
+            self.trace.instant(
+                trace_events.DEVICE_FAILED,
+                trace_events.LIFECYCLE,
+                device_id=worker.worker_id,
+            )
         # Failing the device fails its in-flight tasks (in submission
         # order), which individually enter the retry path above.
         worker.fail_device()
@@ -355,6 +442,13 @@ class Manager:
         self.processor.abandon(request)
         self.fault_counters.requests_timed_out += 1
         self.timed_out_requests.append(request)
+        if self.trace is not None:
+            self.trace.instant(
+                trace_events.REQUEST_TIMED_OUT,
+                trace_events.LIFECYCLE,
+                request_id=request.request_id,
+                args={"reason": reason},
+            )
         if self._on_request_timed_out is not None:
             self._on_request_timed_out(request)
         return True

@@ -11,7 +11,6 @@ NumPy cell measured on the host.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,6 +18,7 @@ import numpy as np
 from repro.cells.base import Cell
 from repro.core.config import BatchingConfig, CellTypeConfig
 from repro.gpu.costmodel import CostModel
+from repro.sim.timebase import measure_best
 
 DEFAULT_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
@@ -103,12 +103,7 @@ def profile_cell(
     for batch in candidates:
         inputs = maker(batch)
         cell(inputs)  # warm-up
-        best = float("inf")
-        for _ in range(repeats):
-            start = time.perf_counter()
-            cell(inputs)
-            best = min(best, time.perf_counter() - start)
-        points.append((batch, best))
+        points.append((batch, measure_best(lambda: cell(inputs), repeats=repeats)))
     return ProfileResult(cell.name, points)
 
 

@@ -42,6 +42,7 @@ from repro.core.subgraph import Subgraph
 from repro.core.task import BatchedTask
 from repro.policies import PolicyBundle
 from repro.policies.defaults import PaperBatchFormation
+from repro.trace import events as trace_events
 
 
 class CellTypeQueue:
@@ -209,6 +210,9 @@ class Scheduler:
         # Histogram of submitted batch sizes, for the evaluation's
         # "effective batch size" analysis.
         self.batch_size_counts: Counter = Counter()
+        # Tracing scope (repro.trace), pushed down by the owning server's
+        # attach_trace; None = record nothing.
+        self.trace = None
 
     # -- registration -------------------------------------------------------
 
@@ -299,6 +303,18 @@ class Scheduler:
         queue.running_tasks += 1
         self.tasks_submitted += 1
         self.batch_size_counts[task.batch_size] += 1
+        if self.trace is not None:
+            self.trace.instant(
+                trace_events.SCHED_BATCH_FORMED,
+                trace_events.SCHED,
+                device_id=worker.worker_id,
+                task_id=task.task_id,
+                args={
+                    "requests": [sg.request.request_id for sg in task.subgraphs()],
+                    "cell": queue.cell_type.name,
+                    "batch": task.batch_size,
+                },
+            )
         self._submit(task, worker)
 
     # -- failure handling (DESIGN.md §8) -------------------------------------
@@ -319,6 +335,13 @@ class Scheduler:
                 owner.remove(sg)
                 self.policies.formation.on_subgraph_removed(owner, sg)
                 evicted += 1
+        if self.trace is not None:
+            self.trace.instant(
+                trace_events.SCHED_EVICT,
+                trace_events.SCHED,
+                request_id=request.request_id,
+                args={"evicted": evicted},
+            )
         return evicted
 
     def resubmit(self, task: BatchedTask) -> None:

@@ -43,6 +43,11 @@ class BatchedTask:
         self.submit_time: Optional[float] = None
         self.finish_time: Optional[float] = None
         self.duration: Optional[float] = None
+        # How much of ``duration`` went to the gather copy and to the
+        # cross-device migration copy (set by the worker at submission;
+        # consumed by the critical-path trace attribution).
+        self.gather_time = 0.0
+        self.migration_time = 0.0
         # Retry bookkeeping: 0 for the original submission, incremented by
         # the manager for each re-submission after a failed execution.
         self.attempt = 0
@@ -54,6 +59,8 @@ class BatchedTask:
         self.submit_time = None
         self.finish_time = None
         self.duration = None
+        self.gather_time = 0.0
+        self.migration_time = 0.0
 
     @property
     def batch_size(self) -> int:

@@ -94,6 +94,8 @@ class Worker:
         self._last_composition = composition
         if needs_gather:
             self.gathers_performed += 1
+        task.gather_time = self.cost_model.gather_overhead if needs_gather else 0.0
+        task.migration_time = extra_cost
         duration = self.cost_model.task_time(
             task.cell_type.name,
             task.batch_size,

@@ -86,7 +86,23 @@ def run_point(
     """One load point: fresh dataset, Poisson arrivals, full drain."""
     generator = LoadGenerator(rate=rate, num_requests=num_requests, seed=seed)
     result = generator.run(server, dataset_factory())
+    _flush_trace(server, rate)
     return result.summary
+
+
+def _flush_trace(server: InferenceServer, rate: float) -> None:
+    """Write this load point's trace file if a ``--trace`` session is on.
+
+    The file name comes from (experiment context, server name, rate) only,
+    so a forked ``--jobs`` sweep produces the same file set as a serial one.
+    """
+    from repro.trace.session import active_session
+
+    session = active_session()
+    if session is None or server.trace_recorder is None:
+        return
+    path = session.flush(server.trace_recorder, f"{server.name}_r{rate:g}")
+    print(f"[trace -> {path}]")
 
 
 # Sweep context for worker processes.  Load points are independent fresh-

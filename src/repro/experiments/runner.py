@@ -29,6 +29,7 @@ from repro.experiments import (
     fig15_fixed_tree,
     fig_cluster,
     fig_faults,
+    fig_trace,
     summary,
 )
 
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable[..., dict]] = {
     "fig15": fig15_fixed_tree.main,
     "fig_cluster": fig_cluster.main,
     "fig_faults": fig_faults.main,
+    "fig_trace": fig_trace.main,
     "ablations": ablations.main,
     "summary": summary.main,
 }
@@ -78,6 +80,22 @@ def main(argv=None) -> int:
         default=None,
         help="also render each figure as SVG into this directory",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record every simulated server and write one Chrome trace JSON "
+        "per (experiment, server, load point) under PATH (a directory, or a "
+        ".json base name); composes with --jobs — file names depend only on "
+        "the load point, never on worker identity",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --trace, keep spans for every Nth request id (default 1)",
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -96,16 +114,34 @@ def main(argv=None) -> int:
         import os
 
         os.makedirs(args.plot_dir, exist_ok=True)
-    for name in names:
-        start = time.time()
-        print(f"\n######## {name} ########")
-        results = EXPERIMENTS[name](quick=args.quick, jobs=args.jobs)
-        if args.plot_dir is not None:
-            module = sys.modules[EXPERIMENTS[name].__module__]
-            if hasattr(module, "plot"):
-                for path in module.plot(results, args.plot_dir):
-                    print(f"[wrote {path}]")
-        print(f"[{name} done in {time.time() - start:.1f}s]")
+    session = None
+    if args.trace is not None:
+        if args.trace_sample < 1:
+            parser.error(f"--trace-sample must be >= 1, got {args.trace_sample}")
+        from repro.trace.session import start_session
+
+        session = start_session(args.trace, sample_every=args.trace_sample)
+    try:
+        for name in names:
+            start = time.time()
+            print(f"\n######## {name} ########")
+            if session is not None:
+                # Set before any sweep pool forks, so the children inherit
+                # the experiment context and derive the same file names a
+                # serial run would.
+                session.set_context(name)
+            results = EXPERIMENTS[name](quick=args.quick, jobs=args.jobs)
+            if args.plot_dir is not None:
+                module = sys.modules[EXPERIMENTS[name].__module__]
+                if hasattr(module, "plot"):
+                    for path in module.plot(results, args.plot_dir):
+                        print(f"[wrote {path}]")
+            print(f"[{name} done in {time.time() - start:.1f}s]")
+    finally:
+        if session is not None:
+            from repro.trace.session import end_session
+
+            end_session()
     return 0
 
 

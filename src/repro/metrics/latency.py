@@ -11,6 +11,8 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.sim.timebase import seconds_to_ms
+
 
 def percentile(values: Sequence[float], p: float) -> float:
     """The ``p``-th percentile (0-100), linear interpolation."""
@@ -56,6 +58,12 @@ class LatencyStats:
 
     def p(self, p: float, series: str = "latency") -> float:
         return percentile(self._series(series), p)
+
+    def p_ms(self, p: float, series: str = "latency") -> float:
+        """The ``p``-th percentile in milliseconds (the reporting unit),
+        converted through the shared :mod:`repro.sim.timebase` helpers so
+        every layer agrees on the seconds->ms rule."""
+        return seconds_to_ms(self.p(p, series))
 
     def mean(self, series: str = "latency") -> float:
         values = self._series(series)

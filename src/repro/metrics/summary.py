@@ -27,15 +27,15 @@ class RunSummary:
 
     @property
     def p50_ms(self) -> float:
-        return 1e3 * self.stats.p(50)
+        return self.stats.p_ms(50)
 
     @property
     def p90_ms(self) -> float:
-        return 1e3 * self.stats.p(90)
+        return self.stats.p_ms(90)
 
     @property
     def p99_ms(self) -> float:
-        return 1e3 * self.stats.p(99)
+        return self.stats.p_ms(99)
 
     def row(self) -> List[str]:
         return [

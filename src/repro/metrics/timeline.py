@@ -4,11 +4,23 @@ Attach a :class:`TaskTrace` to a BatchMaker server to record every batched
 task (cell type, batch size, worker, submit/finish times), then render the
 per-worker timeline — the tooling behind Figure-5-style visualisations and
 general scheduling debugging.
+
+Since the :mod:`repro.trace` subsystem landed, this module is a *view* over
+its recorder rather than a second instrumentation layer: ``attach`` ensures
+the server records into a :class:`~repro.trace.recorder.TraceRecorder` and
+materialises :class:`TaskRecord` rows from the recorder's task spans on
+demand.  One source of truth; the public API (``records`` / ``by_worker`` /
+``batch_size_histogram`` / ``span`` / ``render_gantt``) is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+# Submodule imports (not the package) so repro.metrics and repro.trace can
+# import each other's leaves without a cycle.
+from repro.trace.events import COMPUTE, TASK
+from repro.trace.recorder import TraceRecorder
 
 
 class TaskRecord:
@@ -43,32 +55,51 @@ class TaskTrace:
     """
 
     def __init__(self):
-        self.records: List[TaskRecord] = []
+        self._records: List[TaskRecord] = []
+        self._recorder: Optional[TraceRecorder] = None
+        self._cursor = 0
 
     @classmethod
     def attach(cls, server) -> "TaskTrace":
-        """Wrap the manager's completion hook to capture retired tasks."""
+        """View the server's trace recorder as task records (attaching a
+        fresh recorder if the server is not being traced yet)."""
         trace = cls()
-        manager = server.manager
-        original = manager._task_complete
-
-        def recording(worker, task):
-            trace.records.append(
-                TaskRecord(
-                    task.task_id,
-                    task.cell_type.name,
-                    task.batch_size,
-                    worker.worker_id,
-                    task.finish_time - (task.duration or 0.0),
-                    task.finish_time,
-                )
-            )
-            original(worker, task)
-
-        manager._task_complete = recording
-        for worker in manager.workers:
-            worker._on_task_complete = recording
+        recorder = server.trace_recorder
+        if recorder is None:
+            recorder = TraceRecorder(server.loop)
+            server.attach_trace(recorder)
+        trace._recorder = recorder
+        trace._cursor = len(recorder)
         return trace
+
+    @property
+    def records(self) -> List[TaskRecord]:
+        self._sync()
+        return self._records
+
+    def _sync(self) -> None:
+        """Fold the recorder's new task spans into the record list.
+
+        Only successful executions (category ``compute``) become records —
+        the same set the pre-trace hook captured from the completion path;
+        failed attempts live in the trace's retry spans instead.
+        """
+        if self._recorder is None:
+            return
+        events = list(self._recorder)
+        for event in events[self._cursor:]:
+            if event.name == TASK and event.cat == COMPUTE:
+                self._records.append(
+                    TaskRecord(
+                        event.task_id,
+                        event.args["cell"],
+                        event.args["batch"],
+                        event.device_id,
+                        event.ts,
+                        event.end,
+                    )
+                )
+        self._cursor = len(events)
 
     # -- analysis -----------------------------------------------------------
 

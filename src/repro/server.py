@@ -64,12 +64,47 @@ class InferenceServer:
         self.timed_out: List[InferenceRequest] = []
         self.rejected: List[InferenceRequest] = []
         self._next_request_id = 0
+        # Tracing (repro.trace): a recorder plus this server's scope on it.
+        # None by default — instrumentation sites guard on the scope, so an
+        # untraced server pays one attribute load per site and records
+        # nothing (DESIGN.md §12).
+        self.trace_recorder = None
+        self._trace = None
 
     # -- to implement --------------------------------------------------------
 
     def _accept(self, request: InferenceRequest) -> None:
         """Called at the request's arrival time; begin serving it."""
         raise NotImplementedError
+
+    # -- tracing ---------------------------------------------------------------
+
+    def attach_trace(self, recorder, replica_id: Optional[int] = None) -> None:
+        """Record this server's events into ``recorder``.
+
+        ``replica_id`` stamps every event this server emits (the cluster
+        re-attaches each replica's engine under its replica id; standalone
+        servers stay at None).  Passing ``recorder=None`` detaches.
+        Attaching never touches the event loop, so a traced run stays
+        bit-identical to an untraced one.
+        """
+        self.trace_recorder = recorder
+        self._trace = recorder.scope(replica_id) if recorder is not None else None
+        self._apply_trace_scope(self._trace)
+
+    def _apply_trace_scope(self, scope) -> None:
+        """Push the scope into owned components (overridden by servers that
+        delegate to a manager/scheduler)."""
+
+    def _autotrace(self) -> None:
+        """Auto-attach to the active trace session, if any (called at the
+        end of each concrete server's ``__init__``).  Recorders are shared
+        per event loop, so a cluster and its replicas coalesce into one."""
+        from repro.trace.session import active_session
+
+        session = active_session()
+        if session is not None:
+            self.attach_trace(session.recorder_for(self.loop))
 
     # -- shared machinery ------------------------------------------------------
 
@@ -112,6 +147,14 @@ class InferenceServer:
     def _finish_request(self, request: InferenceRequest) -> None:
         request.mark_finished(self.loop.now())
         self.finished.append(request)
+        if self._trace is not None:
+            from repro.trace import events as trace_events
+
+            self._trace.instant(
+                trace_events.REQUEST_FINISHED,
+                trace_events.LIFECYCLE,
+                request_id=request.request_id,
+            )
 
     def drain(self, until: Optional[float] = None) -> None:
         """Run the event loop until no work remains (or ``until``)."""

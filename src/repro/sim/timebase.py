@@ -1,0 +1,55 @@
+"""Shared time utilities: one clock-accessor / conversion module.
+
+Every component that reads or reports time — trace spans
+(:mod:`repro.trace`), the offline profiler (:mod:`repro.core.profiler`),
+latency metrics (:mod:`repro.metrics`), the Chrome exporter — goes through
+these helpers, so "now", wall-clock measurement, and unit conversion are
+defined exactly once.  All simulation timestamps are floats in **seconds**
+(see :mod:`repro.sim.clock`); presentation layers convert at the edge.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+SECONDS_TO_MS = 1e3
+SECONDS_TO_US = 1e6
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Seconds -> milliseconds (how latency percentiles are reported)."""
+    return SECONDS_TO_MS * seconds
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Seconds -> microseconds (the Chrome trace-event ``ts``/``dur`` unit)."""
+    return SECONDS_TO_US * seconds
+
+
+def sim_now(source) -> float:
+    """The current virtual time of a clock-bearing object.
+
+    Accepts an :class:`~repro.sim.events.EventLoop`, a
+    :class:`~repro.sim.clock.Clock`, or anything exposing ``now()``.  Trace
+    spans, the profiler and the metrics layer all read time through this
+    single accessor, so they can never disagree about the time source.
+    """
+    return source.now()
+
+
+def measure_best(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock duration of ``fn`` in seconds.
+
+    The host-measurement primitive behind offline profiling: the minimum
+    over repeats rejects scheduler noise, matching how the paper benchmarks
+    per-batch kernel times offline.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,41 @@
+"""repro.trace — end-to-end request tracing and latency attribution.
+
+The observability layer for the cellular-batching stack: a determinism-
+safe :class:`TraceRecorder` threaded through the engine, GPU devices,
+fault handling, and the cluster; a Chrome trace-event exporter
+(:func:`export_chrome`) viewable in Perfetto; and a :class:`CriticalPath`
+analyzer that splits each request's end-to-end latency into
+``queue / compute / gather / padding / retry / routing`` buckets.
+
+See DESIGN.md §12 for the span model and determinism rules.
+"""
+
+from .critical import CriticalPath, RequestBreakdown, build_shadow_map
+from .chrome import export_chrome, validate_chrome
+from .events import BUCKETS, INSTANT, SPAN, TraceEvent
+from .recorder import DEFAULT_CAPACITY, TraceRecorder, TraceScope
+from .session import (
+    TraceSession,
+    active_session,
+    end_session,
+    start_session,
+)
+
+__all__ = [
+    "BUCKETS",
+    "CriticalPath",
+    "DEFAULT_CAPACITY",
+    "INSTANT",
+    "RequestBreakdown",
+    "SPAN",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceScope",
+    "TraceSession",
+    "active_session",
+    "build_shadow_map",
+    "end_session",
+    "export_chrome",
+    "start_session",
+    "validate_chrome",
+]

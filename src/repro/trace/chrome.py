@@ -1,0 +1,172 @@
+"""Chrome trace-event JSON export (loads in Perfetto / chrome://tracing).
+
+Track layout:
+
+* ``pid 0`` — **requests**: one thread (track) per logical request.  Task
+  and batch spans fan out onto the tracks of their member requests, and
+  cluster shadow ids are mapped back to logical ids, so one track shows a
+  request's full cross-replica history.
+* ``pid 1`` — **engine devices** (standalone server): one thread per GPU.
+* ``pid 2+r`` — **replica r devices** in a cluster run.
+
+Timestamps/durations are microseconds (the trace-event unit), converted
+from the recorder's sim-clock seconds at export time only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.sim.timebase import seconds_to_us
+
+from . import events as ev
+from .critical import build_shadow_map
+from .events import SPAN
+
+REQUESTS_PID = 0
+ENGINE_DEVICES_PID = 1
+
+
+def _device_pid(replica_id) -> int:
+    return ENGINE_DEVICES_PID if replica_id is None else 2 + replica_id
+
+
+def export_chrome(recorder, path) -> int:
+    """Write ``recorder``'s buffer as trace-event JSON; returns event count."""
+    all_events = list(recorder)
+    shadow_to_logical, _, _ = build_shadow_map(all_events)
+
+    def logical_id(replica_id, request_id):
+        if replica_id is not None:
+            return shadow_to_logical.get((replica_id, request_id), request_id)
+        return request_id
+
+    out: List[Dict[str, Any]] = []
+    request_tids = set()
+    device_tids = set()
+
+    def emit(e, pid, tid):
+        rec: Dict[str, Any] = {
+            "name": e.name,
+            "cat": e.cat,
+            "ph": e.kind,
+            "ts": seconds_to_us(e.ts),
+            "pid": pid,
+            "tid": tid,
+        }
+        if e.kind == SPAN:
+            rec["dur"] = seconds_to_us(e.dur)
+        else:
+            rec["s"] = "t"  # thread-scoped instant
+        args = dict(e.args) if e.args else {}
+        if e.task_id is not None:
+            args["task_id"] = e.task_id
+        if e.replica_id is not None:
+            args["replica_id"] = e.replica_id
+        if args:
+            rec["args"] = args
+        out.append(rec)
+
+    for e in all_events:
+        if e.device_id is not None:
+            pid = _device_pid(e.replica_id)
+            emit(e, pid, e.device_id)
+            device_tids.add((pid, e.device_id))
+        # Request-track view: lifecycle events land on their own track;
+        # batched spans fan out to each member request's track.
+        member_ids = []
+        if e.request_id is not None:
+            member_ids.append(e.request_id)
+        if e.args and "requests" in e.args:
+            member_ids.extend(e.args["requests"])
+        for rid in member_ids:
+            if not recorder.sampled(rid):
+                continue
+            tid = logical_id(e.replica_id, rid)
+            emit(e, REQUESTS_PID, tid)
+            request_tids.add(tid)
+
+    # Track-naming metadata.
+    meta: List[Dict[str, Any]] = [
+        _process_name(REQUESTS_PID, "requests"),
+    ]
+    for tid in sorted(request_tids):
+        meta.append(_thread_name(REQUESTS_PID, tid, f"request {tid}"))
+    named_pids = set()
+    for pid, tid in sorted(device_tids):
+        if pid not in named_pids:
+            named_pids.add(pid)
+            label = "engine devices" if pid == ENGINE_DEVICES_PID \
+                else f"replica {pid - 2} devices"
+            meta.append(_process_name(pid, label))
+        meta.append(_thread_name(pid, tid, f"gpu{tid}"))
+
+    document = {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+    with open(path, "w") as fh:
+        json.dump(document, fh)
+    return len(out)
+
+
+def _process_name(pid: int, name: str) -> Dict[str, Any]:
+    return {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name}}
+
+
+def _thread_name(pid: int, tid: int, name: str) -> Dict[str, Any]:
+    return {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name}}
+
+
+def validate_chrome(path) -> Dict[str, int]:
+    """Validate an exported file as well-formed trace-event JSON.
+
+    Checks the JSON shape, the required per-event fields, and that both a
+    non-empty device track and a non-empty request track exist.  Returns
+    counters (used by the CI smoke job); raises ``ValueError`` on any
+    violation.
+    """
+    with open(path) as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a trace-event document: missing 'traceEvents'")
+    events = document["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+
+    device_events = 0
+    request_events = 0
+    spans = 0
+    instants = 0
+    for i, rec in enumerate(events):
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in rec:
+                raise ValueError(f"event {i} missing required field {field!r}")
+        if rec["ph"] == "M":
+            continue
+        if "ts" not in rec:
+            raise ValueError(f"event {i} missing required field 'ts'")
+        if rec["ph"] == "X":
+            if "dur" not in rec:
+                raise ValueError(f"complete event {i} missing 'dur'")
+            spans += 1
+        elif rec["ph"] == "i":
+            instants += 1
+        else:
+            raise ValueError(f"event {i} has unsupported phase {rec['ph']!r}")
+        if rec["pid"] == REQUESTS_PID:
+            request_events += 1
+        else:
+            device_events += 1
+
+    if device_events == 0:
+        raise ValueError("no events on any device track")
+    if request_events == 0:
+        raise ValueError("no events on any request track")
+    return {
+        "events": device_events + request_events,
+        "device_events": device_events,
+        "request_events": request_events,
+        "spans": spans,
+        "instants": instants,
+    }

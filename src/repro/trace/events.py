@@ -1,0 +1,112 @@
+"""Typed trace events.
+
+A :class:`TraceEvent` is one record in the recorder's ring buffer — either
+a *span* (an interval of virtual time) or an *instant* (a point).  Events
+carry the lineage ids the critical-path analyzer joins on:
+
+* ``request_id`` — the request the event belongs to.  Inside a cluster
+  replica this is the replica-local *shadow* id; the cluster's
+  ``cluster.route`` / ``cluster.reroute`` instants record the
+  ``(replica_id, shadow_id) -> logical_id`` mapping that reconstructs the
+  logical request's full tree across replicas.
+* ``task_id`` / ``device_id`` / ``replica_id`` — batch, GPU stream and
+  cluster-member lineage.
+
+All timestamps come from the simulation clock (seconds); recording an
+event never schedules loop work, which is why tracing cannot perturb a
+run (DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+# -- event kinds (mirrors the Chrome trace-event phase letters) -------------
+SPAN = "X"
+INSTANT = "i"
+
+# -- critical-path buckets (also used as span categories) -------------------
+QUEUE = "queue"
+COMPUTE = "compute"
+GATHER = "gather"
+PADDING = "padding"
+RETRY = "retry"
+ROUTING = "routing"
+BUCKETS = (QUEUE, COMPUTE, GATHER, PADDING, RETRY, ROUTING)
+
+# -- non-bucket categories --------------------------------------------------
+LIFECYCLE = "lifecycle"
+SCHED = "sched"
+CLUSTER = "cluster"
+
+# -- well-known event names -------------------------------------------------
+REQUEST_ARRIVAL = "request.arrival"
+REQUEST_FINISHED = "request.finished"
+REQUEST_TIMED_OUT = "request.timed_out"
+REQUEST_REJECTED = "request.rejected"
+TASK = "task"                      # span: one batched task execution
+BATCH = "batch"                    # span: one fused graph-batching batch
+TASK_DEVICE_LOST = "task.device_lost"
+RETRY_BACKOFF = "retry.backoff"    # span: failure -> resubmission window
+DEVICE_FAILED = "device.failed"
+SCHED_BATCH_FORMED = "sched.batch_formed"
+SCHED_EVICT = "sched.evict"
+CLUSTER_ROUTE = "cluster.route"
+CLUSTER_REROUTE = "cluster.reroute"
+REPLICA_SPAWN = "replica.spawn"
+REPLICA_ACTIVATE = "replica.activate"
+REPLICA_LOST = "replica.lost"
+REPLICA_WARMUP = "replica.warmup"  # span: spawn -> routable
+
+TERMINAL_EVENTS = (REQUEST_FINISHED, REQUEST_TIMED_OUT, REQUEST_REJECTED)
+
+
+class TraceEvent:
+    """One recorded span or instant (plain data, ``__slots__`` for bulk)."""
+
+    __slots__ = (
+        "kind", "name", "cat", "ts", "dur",
+        "replica_id", "device_id", "request_id", "task_id", "args",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: float = 0.0,
+        replica_id: Optional[int] = None,
+        device_id: Optional[int] = None,
+        request_id: Optional[int] = None,
+        task_id: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.kind = kind
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.dur = dur
+        self.replica_id = replica_id
+        self.device_id = device_id
+        self.request_id = request_id
+        self.task_id = task_id
+        self.args = args
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = f"+{self.dur:.6f}" if self.kind == SPAN else ""
+        ids = ",".join(
+            f"{k}={v}"
+            for k, v in (
+                ("r", self.replica_id),
+                ("d", self.device_id),
+                ("req", self.request_id),
+                ("task", self.task_id),
+            )
+            if v is not None
+        )
+        return f"<TraceEvent {self.name} [{self.cat}] t={self.ts:.6f}{span} {ids}>"

@@ -1,0 +1,171 @@
+"""The trace recorder: a ring buffer of typed events on the sim clock.
+
+Design rules (DESIGN.md §12):
+
+* **Determinism-safe.**  Recording an event only appends to a deque and
+  reads ``loop.now()`` — it never schedules loop events, never reads wall
+  time, never mutates engine state.  A traced run is therefore
+  bit-identical (outcome fingerprints, batch compositions, retry timing)
+  to an untraced run by construction.
+* **Zero-cost when off.**  Instrumentation sites guard with
+  ``if self.trace is not None:`` so the disabled path is one attribute
+  load and a branch — no allocation, no call.
+* **Bounded.**  The buffer is a ``collections.deque(maxlen=capacity)``;
+  long runs keep the most recent ``capacity`` events.
+* **Sampled.**  ``sample_every=k`` keeps request-scoped events for
+  requests with ``request_id % k == 0`` (deterministic — it depends only
+  on the id, not on arrival order or wall time).  Device/scheduler/cluster
+  events without a request id are always kept.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Iterator, List, Optional
+
+from repro.sim.timebase import sim_now
+
+from .events import INSTANT, SPAN, TraceEvent
+
+DEFAULT_CAPACITY = 1_000_000
+
+
+class TraceScope:
+    """A recorder view bound to one replica (or the standalone engine).
+
+    Components hold a scope, not the recorder: the scope stamps every
+    event with its ``replica_id`` so cluster traces keep per-replica
+    lineage without each call site threading the id through.
+    """
+
+    __slots__ = ("recorder", "replica_id")
+
+    def __init__(self, recorder: "TraceRecorder", replica_id: Optional[int] = None):
+        self.recorder = recorder
+        self.replica_id = replica_id
+
+    def now(self) -> float:
+        return self.recorder.now()
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        request_id: Optional[int] = None,
+        device_id: Optional[int] = None,
+        task_id: Optional[int] = None,
+        args: Optional[dict] = None,
+        ts: Optional[float] = None,
+    ) -> None:
+        self.recorder._record(
+            TraceEvent(
+                INSTANT, name, cat,
+                self.recorder.now() if ts is None else ts,
+                0.0, self.replica_id, device_id, request_id, task_id, args,
+            )
+        )
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: float,
+        request_id: Optional[int] = None,
+        device_id: Optional[int] = None,
+        task_id: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.recorder._record(
+            TraceEvent(
+                SPAN, name, cat, ts, dur,
+                self.replica_id, device_id, request_id, task_id, args,
+            )
+        )
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records from every layer of one run."""
+
+    def __init__(
+        self,
+        clock,
+        capacity: int = DEFAULT_CAPACITY,
+        sample_every: int = 1,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self._clock = clock
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self._events: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    # -- time ---------------------------------------------------------------
+    def now(self) -> float:
+        return sim_now(self._clock)
+
+    # -- sampling -----------------------------------------------------------
+    def sampled(self, request_id: Optional[int]) -> bool:
+        """Whether events for ``request_id`` are kept under the sampling rate.
+
+        Deterministic: depends only on the id.  ``None`` (device/cluster
+        scoped events) is always kept.
+        """
+        if request_id is None or self.sample_every == 1:
+            return True
+        return request_id % self.sample_every == 0
+
+    # -- recording ----------------------------------------------------------
+    def _record(self, event: TraceEvent) -> None:
+        if not self.sampled(event.request_id):
+            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def scope(self, replica_id: Optional[int] = None) -> TraceScope:
+        return TraceScope(self, replica_id)
+
+    # -- access -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        name: Optional[str] = None,
+        cat: Optional[str] = None,
+        replica_id: Any = "*",
+    ) -> List[TraceEvent]:
+        """Events filtered by name/category/replica (``"*"`` = any replica)."""
+        out = []
+        for ev in self._events:
+            if name is not None and ev.name != name:
+                continue
+            if cat is not None and ev.cat != cat:
+                continue
+            if replica_id != "*" and ev.replica_id != replica_id:
+                continue
+            out.append(ev)
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Bulk-append pre-built events (used by tests and the bench)."""
+        for ev in events:
+            self._record(ev)
+
+    # -- export -------------------------------------------------------------
+    def export_chrome(self, path) -> int:
+        """Write the buffer as Chrome trace-event JSON; returns event count."""
+        from .chrome import export_chrome
+
+        return export_chrome(self, path)

@@ -1,0 +1,98 @@
+"""Process-global trace session behind the ``--trace PATH`` CLI flag.
+
+A session says "trace every server built from now on, and write Chrome
+trace files derived from this base path".  Servers auto-attach at
+construction (``InferenceServer._autotrace``), recorders are shared per
+event loop (so a cluster and its replicas on one loop record into a
+single buffer), and the experiment harness flushes one deterministically
+named file per (experiment, server, load point).
+
+The naming rule is what makes ``--trace`` compose with ``--jobs``: a
+sweep's fork workers each execute whole load points and derive the file
+name from ``(context, server name, rate)`` alone — never from worker
+identity, wall time, or pool scheduling — so a parallel sweep writes the
+same file set as a serial one.
+"""
+
+from __future__ import annotations
+
+import re
+import weakref
+from pathlib import Path
+from typing import List, Optional
+
+from .recorder import DEFAULT_CAPACITY, TraceRecorder
+
+
+class TraceSession:
+    """One ``--trace`` invocation: shared recorders + file-name policy."""
+
+    def __init__(
+        self,
+        base_path,
+        sample_every: int = 1,
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        self.base = Path(base_path)
+        self.sample_every = sample_every
+        self.capacity = capacity
+        self.context = "run"
+        self.written: List[Path] = []
+        # Weak keys: a recorder lives only as long as its event loop, so a
+        # long sweep does not accumulate one buffer per finished point.
+        self._recorders: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    def set_context(self, name: str) -> None:
+        """Label the current experiment (prefixes every flushed file name)."""
+        self.context = name
+
+    def recorder_for(self, loop) -> TraceRecorder:
+        """The shared recorder for ``loop`` (created on first use)."""
+        recorder = self._recorders.get(loop)
+        if recorder is None:
+            recorder = TraceRecorder(
+                loop, capacity=self.capacity, sample_every=self.sample_every
+            )
+            self._recorders[loop] = recorder
+        return recorder
+
+    def trace_path(self, label: str) -> Path:
+        """Deterministic output path for one flushed run."""
+        slug = _slug(f"{self.context}_{label}")
+        if self.base.suffix == ".json":
+            return self.base.with_name(f"{self.base.stem}_{slug}.json")
+        return self.base / f"{slug}.json"
+
+    def flush(self, recorder: TraceRecorder, label: str) -> Path:
+        """Export ``recorder`` to its deterministic path and clear it."""
+        path = self.trace_path(label)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        recorder.export_chrome(path)
+        recorder.clear()
+        self.written.append(path)
+        return path
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", text).strip("-")
+
+
+_SESSION: Optional[TraceSession] = None
+
+
+def start_session(
+    base_path, sample_every: int = 1, capacity: int = DEFAULT_CAPACITY
+) -> TraceSession:
+    global _SESSION
+    _SESSION = TraceSession(base_path, sample_every=sample_every, capacity=capacity)
+    return _SESSION
+
+
+def end_session() -> Optional[TraceSession]:
+    global _SESSION
+    session, _SESSION = _SESSION, None
+    return session
+
+
+def active_session() -> Optional[TraceSession]:
+    return _SESSION

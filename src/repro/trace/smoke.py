@@ -1,0 +1,85 @@
+"""CI smoke check: trace a short run, export it, validate the file.
+
+``python -m repro.trace.smoke [--out PATH]`` runs a small traced LSTM
+load point, exports the Chrome trace JSON, validates it (well-formed,
+non-empty device *and* request tracks), and checks the critical-path
+invariant (every request's bucket sum telescopes to its latency within
+1e-9 s).  Exits non-zero with a message on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.trace.chrome import validate_chrome
+from repro.trace.critical import CriticalPath
+from repro.trace.recorder import TraceRecorder
+
+TOLERANCE = 1e-9
+
+
+def run_smoke(out_path: Path, num_requests: int = 500, rate: float = 4000.0) -> dict:
+    """Run the traced load point and return the validation counters."""
+    from repro.experiments import common
+    from repro.workload import LoadGenerator, SequenceDataset
+
+    server = common.lstm_batchmaker()
+    recorder = TraceRecorder(server.loop)
+    server.attach_trace(recorder)
+    generator = LoadGenerator(rate=rate, num_requests=num_requests, seed=7)
+    generator.run(server, SequenceDataset(seed=1))
+
+    path = CriticalPath.from_recorder(recorder)
+    if not path.requests:
+        raise AssertionError("critical path analyzed no requests")
+    worst = max(
+        abs(r.bucket_sum() - r.latency) for r in path.requests
+    )
+    if worst > TOLERANCE:
+        raise AssertionError(
+            f"bucket sum != latency: worst residual {worst:.3e}s > {TOLERANCE}"
+        )
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    recorder.export_chrome(out_path)
+    counters = validate_chrome(out_path)
+    counters["analyzed_requests"] = len(path.requests)
+    counters["worst_residual"] = worst
+    return counters
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="where to write the trace JSON (default: a temp directory)",
+    )
+    args = parser.parse_args(argv)
+    if args.out is not None:
+        out = Path(args.out)
+        counters = run_smoke(out)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "smoke.json"
+            counters = run_smoke(out)
+    print(
+        f"trace smoke OK: {counters['events']} events "
+        f"({counters['device_events']} device, "
+        f"{counters['request_events']} request), "
+        f"{counters['analyzed_requests']} requests analyzed, "
+        f"worst bucket residual {counters['worst_residual']:.2e}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except (AssertionError, ValueError) as exc:
+        print(f"trace smoke FAILED: {exc}", file=sys.stderr)
+        sys.exit(1)

@@ -1,0 +1,14 @@
+"""``python -m repro.workload`` — the one-shot load-point CLI.
+
+Thin entry point over :func:`repro.workload.loadgen.main`; running the
+package (instead of ``-m repro.workload.loadgen``) avoids the
+found-in-sys.modules RuntimeWarning for a module the package already
+imports.
+"""
+
+import sys
+
+from repro.workload.loadgen import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,3 +108,93 @@ class LoadGenerator:
         )
         summary.extras.update(extras)
         return RunResult(summary, stats, server, duration=last)
+
+
+def main(argv=None) -> int:
+    """CLI: one traced load point (``python -m repro.workload.loadgen``).
+
+    Builds a preset server, drives it at ``--rate``, prints the summary,
+    and with ``--trace PATH`` writes the run's Chrome trace JSON to exactly
+    that path (open it in Perfetto / ``chrome://tracing``).
+    """
+    import argparse
+
+    # Lazy: the factories live above this module in the import graph.
+    from repro.experiments import common
+    from repro.workload.datasets import (
+        Seq2SeqDataset,
+        SequenceDataset,
+        TreeDataset,
+    )
+
+    presets = {
+        "lstm_batchmaker": (common.lstm_batchmaker, SequenceDataset),
+        "lstm_mxnet": (lambda: common.lstm_padded("MXNet"), SequenceDataset),
+        "lstm_tensorflow": (
+            lambda: common.lstm_padded("TensorFlow"),
+            SequenceDataset,
+        ),
+        "seq2seq_batchmaker": (common.seq2seq_batchmaker, Seq2SeqDataset),
+        "tree_batchmaker": (common.tree_batchmaker, TreeDataset),
+    }
+    parser = argparse.ArgumentParser(
+        description="Drive one server at one load point and optionally "
+        "export its execution trace."
+    )
+    parser.add_argument(
+        "--server", default="lstm_batchmaker", choices=sorted(presets)
+    )
+    parser.add_argument("--rate", type=float, default=5000.0, metavar="REQ_S")
+    parser.add_argument("--num-requests", type=int, default=2000, metavar="N")
+    parser.add_argument("--seed", type=int, default=0, help="arrival seed")
+    parser.add_argument("--dataset-seed", type=int, default=1)
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the run's Chrome trace JSON to this exact path",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="K",
+        help="with --trace, keep spans for every Kth request id (default 1)",
+    )
+    args = parser.parse_args(argv)
+    if args.trace_sample < 1:
+        parser.error(f"--trace-sample must be >= 1, got {args.trace_sample}")
+
+    server_factory, dataset_cls = presets[args.server]
+    server = server_factory()
+    recorder = None
+    if args.trace is not None:
+        from repro.trace import TraceRecorder
+
+        recorder = TraceRecorder(server.loop, sample_every=args.trace_sample)
+        server.attach_trace(recorder)
+    generator = LoadGenerator(
+        rate=args.rate, num_requests=args.num_requests, seed=args.seed
+    )
+    result = generator.run(server, dataset_cls(seed=args.dataset_seed))
+    s = result.summary
+    print(
+        f"{s.system}: offered {s.offered_rate:.0f} req/s, achieved "
+        f"{s.throughput:.0f} req/s, p50 {s.p50_ms:.2f} ms, "
+        f"p90 {s.p90_ms:.2f} ms, p99 {s.p99_ms:.2f} ms"
+    )
+    if recorder is not None:
+        import os
+
+        parent = os.path.dirname(args.trace)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        count = recorder.export_chrome(args.trace)
+        print(f"[trace -> {args.trace} ({count} events)]")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

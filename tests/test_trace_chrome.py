@@ -1,0 +1,228 @@
+"""Chrome trace-event export: document shape, track layout, validation.
+
+Synthetic cases pin the exporter's contract — device events land on
+``pid 2+replica`` (``pid 1`` for the standalone engine), request-scoped
+events fan out to one ``pid 0`` track per *logical* request (cluster
+shadow ids mapped back through the routing instants), spans carry
+microsecond ``dur``, metadata names every track.  The real-run cases
+export an actual traced engine and 2-replica cluster run and push the
+files through ``validate_chrome`` — the same check the CI smoke job runs.
+"""
+
+import json
+
+import pytest
+from tests.cluster_helpers import (
+    assert_cluster_invariants,
+    build_lstm_cluster,
+    run_cluster,
+)
+
+from repro.sim.timebase import seconds_to_us
+from repro.trace import TraceRecorder, export_chrome, validate_chrome
+from repro.trace import events as ev
+from repro.trace.chrome import ENGINE_DEVICES_PID, REQUESTS_PID
+
+
+class FixedClock:
+    def now(self):
+        return 0.0
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def real_events(document):
+    """Trace events minus the M-phase track-naming metadata."""
+    return [e for e in document["traceEvents"] if e["ph"] != "M"]
+
+
+# -- synthetic: document shape ----------------------------------------------
+
+
+def test_span_and_instant_shape(tmp_path):
+    recorder = TraceRecorder(FixedClock())
+    scope = recorder.scope()
+    scope.instant(ev.REQUEST_ARRIVAL, ev.LIFECYCLE, request_id=1, ts=0.5e-3)
+    scope.span(
+        ev.TASK, ev.COMPUTE, ts=1e-3, dur=2e-3,
+        device_id=0, task_id=9, args={"requests": [1], "batch": 1},
+    )
+    path = tmp_path / "t.json"
+    assert export_chrome(recorder, path) > 0
+    document = load(path)
+    assert document["displayTimeUnit"] == "ms"
+
+    events = real_events(document)
+    instants = [e for e in events if e["ph"] == "i"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert instants and spans
+    assert instants[0]["s"] == "t"
+    assert instants[0]["ts"] == pytest.approx(seconds_to_us(0.5e-3))
+    # The task span appears on the device track and fans out to the
+    # member request's track, with us-converted ts/dur and task lineage.
+    for span in spans:
+        assert span["ts"] == pytest.approx(seconds_to_us(1e-3))
+        assert span["dur"] == pytest.approx(seconds_to_us(2e-3))
+        assert span["args"]["task_id"] == 9
+    assert {s["pid"] for s in spans} == {ENGINE_DEVICES_PID, REQUESTS_PID}
+
+
+def test_batch_span_fans_out_to_every_member_request(tmp_path):
+    recorder = TraceRecorder(FixedClock())
+    scope = recorder.scope()
+    for rid in (1, 2):
+        scope.instant(ev.REQUEST_ARRIVAL, ev.LIFECYCLE, request_id=rid, ts=0.0)
+    scope.span(
+        ev.BATCH, ev.COMPUTE, ts=0.0, dur=1e-3, device_id=0,
+        args={"requests": [1, 2], "padding": [0.0, 0.0]},
+    )
+    path = tmp_path / "t.json"
+    export_chrome(recorder, path)
+    batch_tids = {
+        e["tid"]
+        for e in real_events(load(path))
+        if e["name"] == ev.BATCH and e["pid"] == REQUESTS_PID
+    }
+    assert batch_tids == {1, 2}
+
+
+def test_track_naming_metadata(tmp_path):
+    recorder = TraceRecorder(FixedClock())
+    scope = recorder.scope()
+    scope.instant(ev.REQUEST_ARRIVAL, ev.LIFECYCLE, request_id=4, ts=0.0)
+    scope.span(ev.TASK, ev.COMPUTE, ts=0.0, dur=1e-3, device_id=2,
+               args={"requests": [4]})
+    path = tmp_path / "t.json"
+    export_chrome(recorder, path)
+    meta = [e for e in load(path)["traceEvents"] if e["ph"] == "M"]
+    names = {(m["name"], m["pid"], m["args"]["name"]) for m in meta}
+    assert ("process_name", REQUESTS_PID, "requests") in names
+    assert ("process_name", ENGINE_DEVICES_PID, "engine devices") in names
+    assert ("thread_name", ENGINE_DEVICES_PID, "gpu2") in names
+    assert ("thread_name", REQUESTS_PID, "request 4") in names
+
+
+def test_sampled_out_requests_excluded_from_fanout(tmp_path):
+    # sample_every=2 drops odd request ids at record time; the exporter
+    # must apply the same rule when fanning a batched span out to member
+    # tracks, so no half-traced request track appears.
+    recorder = TraceRecorder(FixedClock(), sample_every=2)
+    scope = recorder.scope()
+    scope.instant(ev.REQUEST_ARRIVAL, ev.LIFECYCLE, request_id=4, ts=0.0)
+    scope.span(ev.TASK, ev.COMPUTE, ts=0.0, dur=1e-3, device_id=0,
+               args={"requests": [3, 4]})
+    path = tmp_path / "t.json"
+    export_chrome(recorder, path)
+    request_tids = {
+        e["tid"] for e in real_events(load(path)) if e["pid"] == REQUESTS_PID
+    }
+    assert request_tids == {4}
+
+
+def test_cluster_tracks_map_shadows_to_logical_ids(tmp_path):
+    recorder = TraceRecorder(FixedClock())
+    cluster_scope = recorder.scope()
+    replica_scope = recorder.scope(replica_id=1)
+    # Logical request 7 routed to replica 1 as shadow 0.
+    cluster_scope.instant(ev.REQUEST_ARRIVAL, ev.LIFECYCLE, request_id=7, ts=0.0)
+    cluster_scope.instant(
+        ev.CLUSTER_ROUTE, ev.CLUSTER, request_id=7,
+        args={"logical": 7, "replica": 1, "shadow": 0}, ts=0.0,
+    )
+    replica_scope.span(ev.TASK, ev.COMPUTE, ts=0.0, dur=1e-3, device_id=0,
+                       args={"requests": [0]})
+    path = tmp_path / "t.json"
+    export_chrome(recorder, path)
+    events = real_events(load(path))
+    # Replica 1's device work lands on its own process (pid 2 + 1)...
+    task_pids = {e["pid"] for e in events if e["name"] == ev.TASK}
+    assert 2 + 1 in task_pids
+    # ...and its request-track copy is keyed by the *logical* id.
+    request_tids = {
+        e["tid"]
+        for e in events
+        if e["pid"] == REQUESTS_PID and e["name"] == ev.TASK
+    }
+    assert request_tids == {7}
+
+
+# -- validate_chrome error paths --------------------------------------------
+
+
+def write_document(tmp_path, document):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(document))
+    return path
+
+
+def test_validate_rejects_non_trace_documents(tmp_path):
+    with pytest.raises(ValueError, match="traceEvents"):
+        validate_chrome(write_document(tmp_path, {"events": []}))
+    with pytest.raises(ValueError, match="non-empty"):
+        validate_chrome(write_document(tmp_path, {"traceEvents": []}))
+
+
+def test_validate_rejects_malformed_events(tmp_path):
+    base = {"name": "x", "cat": "sched", "ph": "i", "ts": 0, "pid": 1,
+            "tid": 0, "s": "t"}
+    with pytest.raises(ValueError, match="missing required field 'pid'"):
+        doc = dict(base)
+        del doc["pid"]
+        validate_chrome(write_document(tmp_path, {"traceEvents": [doc]}))
+    with pytest.raises(ValueError, match="missing 'dur'"):
+        doc = dict(base, ph="X")
+        validate_chrome(write_document(tmp_path, {"traceEvents": [doc]}))
+    with pytest.raises(ValueError, match="unsupported phase"):
+        doc = dict(base, ph="B")
+        validate_chrome(write_document(tmp_path, {"traceEvents": [doc]}))
+
+
+def test_validate_requires_both_track_kinds(tmp_path):
+    device_only = {"name": "x", "cat": "sched", "ph": "i", "ts": 0,
+                   "pid": 1, "tid": 0, "s": "t"}
+    with pytest.raises(ValueError, match="request track"):
+        validate_chrome(
+            write_document(tmp_path, {"traceEvents": [device_only]})
+        )
+    request_only = dict(device_only, pid=REQUESTS_PID)
+    with pytest.raises(ValueError, match="device track"):
+        validate_chrome(
+            write_document(tmp_path, {"traceEvents": [request_only]})
+        )
+
+
+# -- real runs through the smoke-job validator -------------------------------
+
+
+def test_engine_run_exports_valid_trace(tmp_path):
+    from repro.trace.smoke import run_smoke
+
+    counters = run_smoke(tmp_path / "engine.json", num_requests=200)
+    assert counters["device_events"] > 0
+    assert counters["request_events"] > 0
+    assert counters["spans"] > 0 and counters["instants"] > 0
+    assert counters["analyzed_requests"] > 0
+
+
+def test_cluster_run_exports_valid_trace(tmp_path):
+    cluster = build_lstm_cluster(num_replicas=2, seed=3)
+    recorder = TraceRecorder(cluster.loop)
+    cluster.attach_trace(recorder)
+    submitted = run_cluster(cluster, num_requests=150)
+    assert_cluster_invariants(cluster, submitted)
+
+    path = tmp_path / "cluster.json"
+    recorder.export_chrome(path)
+    counters = validate_chrome(path)
+    assert counters["device_events"] > 0 and counters["request_events"] > 0
+    events = real_events(load(path))
+    # Both replicas' device streams are present as their own processes...
+    device_pids = {e["pid"] for e in events if e["pid"] != REQUESTS_PID}
+    assert {2, 3} <= device_pids
+    # ...and request tracks are keyed by logical ids, never shadow ids.
+    logical_ids = {r.request_id for r in submitted}
+    request_tids = {e["tid"] for e in events if e["pid"] == REQUESTS_PID}
+    assert request_tids <= logical_ids

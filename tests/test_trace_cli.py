@@ -1,0 +1,103 @@
+"""The ``--trace`` CLI surface: loadgen one-shot export, runner sessions,
+and the deterministic file-name rule that makes ``--trace`` compose with
+``--jobs`` (names derive from the load point, never worker identity).
+"""
+
+import pytest
+
+from repro.experiments import runner
+from repro.trace.chrome import validate_chrome
+from repro.trace.session import TraceSession, active_session
+from repro.workload import loadgen
+
+QUICK_TRACE_FILES = {
+    f"fig_trace_BatchMaker_r{rate:g}.json" for rate in (2000, 5000, 8000)
+}
+
+
+# -- loadgen CLI -------------------------------------------------------------
+
+
+def test_loadgen_cli_writes_validated_trace(tmp_path, capsys):
+    out = tmp_path / "traces" / "run.json"
+    assert loadgen.main([
+        "--rate", "3000", "--num-requests", "150", "--trace", str(out),
+    ]) == 0
+    counters = validate_chrome(out)
+    assert counters["device_events"] > 0 and counters["request_events"] > 0
+    printed = capsys.readouterr().out
+    assert "BatchMaker" in printed and str(out) in printed
+
+
+def test_loadgen_cli_sampling_reduces_request_events(tmp_path):
+    def events_at(sample, name):
+        out = tmp_path / name
+        loadgen.main([
+            "--rate", "3000", "--num-requests", "150",
+            "--trace", str(out), "--trace-sample", str(sample),
+        ])
+        return validate_chrome(out)["request_events"]
+
+    assert events_at(4, "sampled.json") < events_at(1, "full.json")
+
+
+def test_loadgen_cli_rejects_bad_sample(tmp_path):
+    with pytest.raises(SystemExit):
+        loadgen.main([
+            "--trace", str(tmp_path / "t.json"), "--trace-sample", "0",
+        ])
+
+
+def test_loadgen_cli_untraced_writes_nothing(tmp_path, capsys):
+    assert loadgen.main(["--rate", "3000", "--num-requests", "50"]) == 0
+    assert list(tmp_path.iterdir()) == []
+    assert "trace" not in capsys.readouterr().out
+
+
+# -- file-name determinism (the --jobs composition rule) ---------------------
+
+
+def test_session_paths_depend_only_on_context_and_label(tmp_path):
+    session = TraceSession(tmp_path / "traces")
+    session.set_context("fig_trace")
+    first = session.trace_path("BatchMaker_r2000")
+    assert first == session.trace_path("BatchMaker_r2000")  # pure function
+    assert first.name == "fig_trace_BatchMaker_r2000.json"
+    # A .json base prefixes instead of nesting.
+    base = TraceSession(tmp_path / "run.json")
+    base.set_context("fig_trace")
+    assert base.trace_path("x").name == "run_fig_trace_x.json"
+
+
+def test_session_slugs_are_filesystem_safe(tmp_path):
+    session = TraceSession(tmp_path)
+    session.set_context("fig trace")
+    assert session.trace_path("srv/r2e3:a").name == "fig-trace_srv-r2e3-a.json"
+
+
+# -- experiment runner -------------------------------------------------------
+
+
+def test_runner_rejects_bad_trace_sample(tmp_path):
+    with pytest.raises(SystemExit):
+        runner.main([
+            "fig_trace", "--quick",
+            "--trace", str(tmp_path), "--trace-sample", "0",
+        ])
+
+
+def test_runner_fig_trace_with_jobs_writes_deterministic_files(tmp_path):
+    """`--trace` composes with `--jobs`: the forked sweep writes exactly
+    the file set a serial run would — one per load point, names derived
+    from (experiment, server, rate) — and every file validates."""
+    out = tmp_path / "traces"
+    assert runner.main([
+        "fig_trace", "--quick", "--jobs", "2", "--trace", str(out),
+    ]) == 0
+    assert {p.name for p in out.iterdir()} == QUICK_TRACE_FILES
+    for path in sorted(out.iterdir()):
+        counters = validate_chrome(path)
+        assert counters["device_events"] > 0
+        assert counters["request_events"] > 0
+    # The runner tears the session down on exit, even on success.
+    assert active_session() is None

@@ -1,0 +1,129 @@
+"""Tracing must never perturb the simulation: bit-identity gates.
+
+With the recorder attached, outcome fingerprints (exact terminal
+timestamps, retry counts, counters, batch-size histogram) must be
+bit-identical to a tracing-off run — the recorder only appends to its
+ring buffer and reads the sim clock; it never schedules events or
+consults wall time.  Exercised under full chaos (kernel failures,
+stragglers, a device loss, SLA deadlines and retries) across the CI
+seed matrix, for both the standalone engine and a 2-replica cluster
+losing a replica mid-run.
+"""
+
+import pytest
+from tests.chaos_helpers import (
+    assert_invariants,
+    build_server,
+    chaos_seeds,
+    outcome_fingerprint,
+    run_chaos,
+)
+from tests.cluster_helpers import (
+    assert_cluster_invariants,
+    build_lstm_cluster,
+    run_cluster,
+)
+
+from repro.faults import DeviceFailure, FaultPlan, RetryPolicy, SLAConfig
+from repro.trace import TraceRecorder
+
+
+def storm_plan(seed):
+    return FaultPlan(
+        seed,
+        kernel_failure_rate=0.08,
+        straggler_rate=0.1,
+        straggler_multiplier=5.0,
+        device_failures=[DeviceFailure(10e-3, 1)],
+    )
+
+
+def storm_sla():
+    return SLAConfig(
+        default_deadline=40e-3, retry=RetryPolicy(max_retries=2)
+    )
+
+
+def run_engine(seed, traced, sample_every=1):
+    server = build_server(storm_plan(seed), storm_sla(), num_gpus=2)
+    recorder = None
+    if traced:
+        recorder = TraceRecorder(server.loop, sample_every=sample_every)
+        server.attach_trace(recorder)
+    submitted = run_chaos(server)
+    assert_invariants(server, submitted)
+    return server, recorder
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_engine_traced_run_bit_identical_to_untraced(seed):
+    untraced, _ = run_engine(seed, traced=False)
+    traced, recorder = run_engine(seed, traced=True)
+    assert outcome_fingerprint(traced) == outcome_fingerprint(untraced)
+    # The gate is meaningful only if the recorder actually saw the run.
+    assert len(recorder) > 0
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_engine_sampled_tracing_still_bit_identical(seed):
+    # Sampling drops events at record time; it must not change *when*
+    # instrumented code runs, so fingerprints stay identical too.
+    untraced, _ = run_engine(seed, traced=False)
+    sampled, recorder = run_engine(seed, traced=True, sample_every=3)
+    assert outcome_fingerprint(sampled) == outcome_fingerprint(untraced)
+    assert len(recorder) > 0
+
+
+def cluster_fingerprint(cluster):
+    """Cluster analogue of ``outcome_fingerprint``: logical outcomes with
+    exact timestamps, cluster counters, and total engine work."""
+    statuses = tuple(
+        (r.request_id, r.state.value, r.terminal_time)
+        for r in sorted(
+            cluster.finished + cluster.timed_out + cluster.rejected,
+            key=lambda r: r.request_id,
+        )
+    )
+    return (
+        statuses,
+        tuple(sorted(cluster.cluster_counters.as_dict().items())),
+        cluster.tasks_submitted(),
+    )
+
+
+def run_two_replica(seed, traced):
+    cluster = build_lstm_cluster(
+        num_replicas=2, seed=seed, replica_failures=[(8e-3, 1)]
+    )
+    recorder = None
+    if traced:
+        recorder = TraceRecorder(cluster.loop)
+        cluster.attach_trace(recorder)
+    submitted = run_cluster(cluster, deadline=50e-3)
+    assert_cluster_invariants(cluster, submitted)
+    return cluster, recorder
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_cluster_traced_run_bit_identical_to_untraced(seed):
+    untraced, _ = run_two_replica(seed, traced=False)
+    traced, recorder = run_two_replica(seed, traced=True)
+    assert cluster_fingerprint(traced) == cluster_fingerprint(untraced)
+    assert len(recorder) > 0
+    # Replica lineage made it into the buffer: events from both replicas.
+    replica_ids = {e.replica_id for e in recorder}
+    assert {0, 1} <= replica_ids
+
+
+def test_attach_then_detach_restores_untraced_behaviour():
+    baseline, _ = run_engine(7, traced=False)
+    server = build_server(storm_plan(7), storm_sla(), num_gpus=2)
+    server.attach_trace(TraceRecorder(server.loop))
+    server.attach_trace(None)  # detach before any traffic
+    submitted = run_chaos(server)
+    assert_invariants(server, submitted)
+    assert outcome_fingerprint(server) == outcome_fingerprint(baseline)
+    assert server.trace_recorder is None

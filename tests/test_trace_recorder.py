@@ -1,0 +1,123 @@
+"""Unit tests for the trace recorder, scopes, sampling, and timebase."""
+
+import pytest
+
+from repro.sim.timebase import (
+    measure_best,
+    seconds_to_ms,
+    seconds_to_us,
+    sim_now,
+)
+from repro.trace import DEFAULT_CAPACITY, TraceRecorder
+from repro.trace import events as ev
+
+
+class FixedClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def now(self):
+        return self.t
+
+
+def test_recorder_records_instants_and_spans():
+    clock = FixedClock(1.5)
+    recorder = TraceRecorder(clock)
+    scope = recorder.scope()
+    scope.instant(ev.REQUEST_ARRIVAL, ev.LIFECYCLE, request_id=3)
+    scope.span(ev.TASK, ev.COMPUTE, ts=1.0, dur=0.25, device_id=0, task_id=9)
+    events = list(recorder)
+    assert len(recorder) == 2
+    assert events[0].kind == ev.INSTANT
+    assert events[0].ts == 1.5  # stamped from the clock
+    assert events[0].request_id == 3
+    assert events[1].kind == ev.SPAN
+    assert events[1].end == pytest.approx(1.25)
+    assert events[1].device_id == 0 and events[1].task_id == 9
+
+
+def test_scope_stamps_replica_id():
+    recorder = TraceRecorder(FixedClock())
+    recorder.scope(replica_id=2).instant("x", ev.SCHED)
+    recorder.scope().instant("y", ev.SCHED)
+    xs = recorder.events(name="x")
+    ys = recorder.events(name="y")
+    assert xs[0].replica_id == 2
+    assert ys[0].replica_id is None
+    assert recorder.events(replica_id=2) == xs
+
+
+def test_sampling_is_deterministic_on_request_id():
+    recorder = TraceRecorder(FixedClock(), sample_every=2)
+    scope = recorder.scope()
+    scope.instant("a", ev.LIFECYCLE, request_id=3)  # dropped
+    scope.instant("b", ev.LIFECYCLE, request_id=4)  # kept
+    scope.instant("c", ev.SCHED)  # no request id: always kept
+    assert [e.name for e in recorder] == ["b", "c"]
+    assert recorder.sampled(None)
+    assert recorder.sampled(6)
+    assert not recorder.sampled(7)
+
+
+def test_capacity_bounds_buffer_and_counts_dropped():
+    recorder = TraceRecorder(FixedClock(), capacity=3)
+    scope = recorder.scope()
+    for i in range(5):
+        scope.instant(f"e{i}", ev.SCHED)
+    assert len(recorder) == 3
+    assert recorder.dropped == 2
+    # Ring semantics: the most recent events survive.
+    assert [e.name for e in recorder] == ["e2", "e3", "e4"]
+    recorder.clear()
+    assert len(recorder) == 0
+    assert recorder.dropped == 0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        TraceRecorder(FixedClock(), capacity=0)
+    with pytest.raises(ValueError):
+        TraceRecorder(FixedClock(), sample_every=0)
+    assert TraceRecorder(FixedClock()).capacity == DEFAULT_CAPACITY
+
+
+def test_empty_recorder_is_falsy_so_guards_must_use_is_not_none():
+    # A recorder defines __len__, so an *empty* recorder is falsy.  Any
+    # attach/guard code must therefore test `recorder is not None`, never
+    # truthiness — this pin documents the trap.
+    recorder = TraceRecorder(FixedClock())
+    assert not recorder
+    assert recorder is not None
+
+
+def test_events_filter_by_name_and_cat():
+    recorder = TraceRecorder(FixedClock())
+    scope = recorder.scope()
+    scope.instant(ev.SCHED_EVICT, ev.SCHED, request_id=1)
+    scope.span(ev.TASK, ev.COMPUTE, ts=0.0, dur=1.0)
+    scope.span(ev.TASK, ev.RETRY, ts=0.0, dur=1.0)
+    assert len(recorder.events(name=ev.TASK)) == 2
+    assert len(recorder.events(name=ev.TASK, cat=ev.RETRY)) == 1
+    assert len(recorder.events(cat=ev.SCHED)) == 1
+
+
+# -- shared timebase (used by trace, profiler, metrics) ----------------------
+
+
+def test_timebase_conversions():
+    assert seconds_to_ms(0.25) == pytest.approx(250.0)
+    assert seconds_to_us(2e-3) == pytest.approx(2000.0)
+    assert sim_now(FixedClock(4.5)) == 4.5
+
+
+def test_measure_best_takes_minimum_and_validates():
+    calls = []
+
+    def fn():
+        calls.append(1)
+
+    elapsed = measure_best(fn, repeats=3)
+    assert len(calls) == 3
+    assert elapsed >= 0.0
+    with pytest.raises(ValueError):
+        measure_best(fn, repeats=0)
