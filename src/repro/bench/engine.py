@@ -1,6 +1,6 @@
 """Benchmark harness for the scheduling/simulation engine.
 
-Two measurements:
+Measurements:
 
 * **Scheduler decisions/sec** at fixed queue depths, fast path vs the
   retained brute-force reference (``BatchingConfig(fast_path=False)``).
@@ -10,13 +10,25 @@ Two measurements:
   ``FormBatchedTask`` scan walks past them on every decision and the
   tier-selection recounts every subgraph's ready nodes.
 
+* **Cluster routing decisions/sec** per policy, indexed fast path (the
+  event-driven :class:`~repro.cluster.load_index.LoadIndex`) vs the
+  retained brute-force scan (``fast_path=False``), identical decision
+  counts for every policy and both paths, with an inline decision-sequence
+  equality check.
+
+* **Sustained throughput** (:mod:`repro.bench.sustained`): 10^6 requests
+  through an 8-replica pool per routing policy with steady completion
+  churn — end-to-end requests/sec plus p50/p99 decision latency.
+
 * **Quick Fig-7 sweep wall-clock**, serial vs ``--jobs``-parallel, with an
   identical-summaries cross-check (the parallel runner must change nothing
   but the wall-clock).
 
 Results are written to ``BENCH_engine.json`` (repo root) so future PRs can
-compare; ``--check`` fails when decisions/sec regress by more than 2x
-against a committed baseline file.
+compare; ``--check`` fails when decisions/sec (or sustained requests/sec)
+regress by more than 2x against a committed baseline file.  ``--profile``
+prints the cProfile top-20 cumulative entries so hot-path hunts don't
+start blind; ``--only`` restricts the run to named sections.
 """
 
 from __future__ import annotations
@@ -29,7 +41,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA = 4
+BENCH_SCHEMA = 5
 DEFAULT_DEPTHS = (250, 1000, 4000)
 SMOKE_DEPTHS = (250, 1000)
 # Policy bundles timed by bench_policy_overhead: decision rate of the
@@ -172,54 +184,130 @@ def bench_policy_overhead(
     return results
 
 
-def bench_cluster_routing(
-    num_replicas: int = CLUSTER_BENCH_REPLICAS,
-    max_seconds: float = 1.0,
-    max_decisions: int = 200_000,
-) -> Dict[str, Dict]:
-    """Front-end routing decisions/sec, per policy.
-
-    The replicas are engine-free stand-ins with a scattered load profile
-    (so the load-aware policies do real min-by-key work and hit the seeded
-    tie-break), and the request stream cycles through mixed payload
-    lengths (so length bucketing does real bucketing).  This isolates the
-    router's per-decision cost from replica simulation time.
-    """
+def _build_bench_replicas(num_replicas: int, indexed: bool):
+    """Engine-free replicas with a scattered load profile (so the
+    load-aware policies do real min-by-key work and hit the seeded
+    tie-break).  ``indexed`` additionally registers them with a
+    :class:`LoadIndex`, returned alongside."""
+    from repro.cluster.load_index import LoadIndex
     from repro.cluster.replica import Replica
-    from repro.cluster.routing import ROUTERS, make_router
-    from repro.core.request import InferenceRequest
     from repro.server import InferenceServer
     from repro.sim.events import EventLoop
+
+    index = LoadIndex() if indexed else None
+    replicas = []
+    for rid in range(num_replicas):
+        replica = Replica(rid, InferenceServer(EventLoop(), f"bench#{rid}"))
+        # Scattered outstanding counts with deliberate ties.
+        replica.routed = (rid * 7) % 5
+        replica.ewma_latency = 1e-3 * (1 + rid % 3)
+        if index is not None:
+            index.register(replica)
+        replicas.append(replica)
+    return replicas, index
+
+
+def _time_routing(name: str, num_replicas: int, decisions: int, fast: bool):
+    """Exactly ``decisions`` choices through one router; no time cap, so
+    every policy and both paths report over identical decision counts (a
+    prior revision capped on wall-clock mid-run, which made the per-policy
+    decision totals — and thus the JSON — incomparable)."""
+    from repro.cluster.routing import make_router
+    from repro.core.request import InferenceRequest
 
     lengths = (4, 12, 19, 27, 45, 70, 121, 8)
     requests = [
         InferenceRequest(i, lengths[i % len(lengths)], 0.0) for i in range(4096)
     ]
+    replicas, index = _build_bench_replicas(num_replicas, indexed=fast)
+    router = make_router(name, seed=7, fast_path=fast)
+    if index is not None:
+        router.attach_index(index)
+        candidates = index.routable()
+    else:
+        candidates = replicas
+    n = len(requests)
+    choose = router.choose
+    # Best of 2 passes: routing is stateless w.r.t. these static loads, so
+    # the second pass re-measures the same work and the min damps scheduler
+    # noise out of the speedup ratio.
+    elapsed = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        for i in range(decisions):
+            choose(requests[i % n], candidates)
+        elapsed = min(elapsed, time.perf_counter() - start)
+    rate = decisions / elapsed if elapsed > 0 else 0.0
+    return {
+        "decisions": decisions,
+        "seconds": elapsed,
+        "decisions_per_sec": rate,
+        "us_per_decision": 1e6 / rate if rate > 0 else None,
+    }
+
+
+def _routing_decisions_identical(
+    name: str, num_replicas: int, decisions: int = 4096
+) -> bool:
+    """Fresh routers, fast vs brute, same request stream: the chosen
+    replica ids must match decision for decision."""
+    from repro.cluster.routing import make_router
+    from repro.core.request import InferenceRequest
+
+    lengths = (4, 12, 19, 27, 45, 70, 121, 8)
+    requests = [
+        InferenceRequest(i, lengths[i % len(lengths)], 0.0)
+        for i in range(decisions)
+    ]
+    chosen = []
+    for fast in (True, False):
+        replicas, index = _build_bench_replicas(num_replicas, indexed=fast)
+        router = make_router(name, seed=7, fast_path=fast)
+        if index is not None:
+            router.attach_index(index)
+            candidates = index.routable()
+        else:
+            candidates = replicas
+        chosen.append(
+            [router.choose(request, candidates).replica_id for request in requests]
+        )
+    return chosen[0] == chosen[1]
+
+
+def bench_cluster_routing(
+    num_replicas: int = CLUSTER_BENCH_REPLICAS,
+    max_decisions: int = 200_000,
+) -> Dict[str, Dict]:
+    """Front-end routing decisions/sec, per policy, indexed fast path vs
+    brute-force scan.
+
+    Each policy runs exactly ``max_decisions`` decisions on both paths
+    over the same mixed-length request stream, then a separate pass
+    cross-checks that the two paths choose identical replica sequences.
+    This isolates the router's per-decision cost from replica simulation
+    time; :mod:`repro.bench.sustained` covers the churn regime where the
+    index absorbs load deltas between decisions.
+    """
+    from repro.cluster.routing import ROUTERS
+
     results: Dict[str, Dict] = {}
     for name in sorted(ROUTERS):
-        replicas = []
-        for rid in range(num_replicas):
-            replica = Replica(rid, InferenceServer(EventLoop(), f"bench#{rid}"))
-            # Scattered outstanding counts with deliberate ties.
-            replica.routed = (rid * 7) % 5
-            replica.ewma_latency = 1e-3 * (1 + rid % 3)
-            replicas.append(replica)
-        router = make_router(name, seed=7)
-        decisions = 0
-        start = time.perf_counter()
-        while decisions < max_decisions:
-            router.choose(requests[decisions % len(requests)], replicas)
-            decisions += 1
-            if decisions % 4096 == 0 and time.perf_counter() - start >= max_seconds:
-                break
-        elapsed = time.perf_counter() - start
-        rate = decisions / elapsed if elapsed > 0 else 0.0
+        fast = _time_routing(name, num_replicas, max_decisions, fast=True)
+        brute = _time_routing(name, num_replicas, max_decisions, fast=False)
+        speedup = (
+            fast["decisions_per_sec"] / brute["decisions_per_sec"]
+            if brute["decisions_per_sec"]
+            else float("inf")
+        )
         results[name] = {
             "num_replicas": num_replicas,
-            "decisions": decisions,
-            "seconds": elapsed,
-            "decisions_per_sec": rate,
-            "us_per_decision": 1e6 / rate if rate > 0 else None,
+            "decisions": max_decisions,
+            "fast": fast,
+            "brute_force": brute,
+            "speedup": speedup,
+            "identical_decisions": _routing_decisions_identical(
+                name, num_replicas
+            ),
         }
     return results
 
@@ -330,9 +418,33 @@ def _summaries_identical(a: Dict[str, List], b: Dict[str, List]) -> bool:
     )
 
 
-def run_engine_bench(smoke: bool = False, jobs: int = 2) -> Dict:
+# Section names accepted by --only (fig7 only runs in full mode; sustained
+# is skipped in smoke mode unless asked for explicitly, so the CI engine
+# smoke job stays fast while the dedicated perf job runs it gated).
+BENCH_SECTIONS = (
+    "scheduler",
+    "policies",
+    "cluster",
+    "trace",
+    "sustained",
+    "fig7",
+)
+
+
+def run_engine_bench(
+    smoke: bool = False,
+    jobs: int = 2,
+    only: Optional[List[str]] = None,
+    sustained_requests: Optional[int] = None,
+) -> Dict:
+    from repro.bench.sustained import SUSTAINED_REQUESTS, bench_sustained
+
     depths = SMOKE_DEPTHS if smoke else DEFAULT_DEPTHS
     max_decisions = 500 if smoke else 2000
+
+    def wanted(section: str) -> bool:
+        return only is None or section in only
+
     bench = {
         "schema": BENCH_SCHEMA,
         "mode": "smoke" if smoke else "full",
@@ -341,21 +453,30 @@ def run_engine_bench(smoke: bool = False, jobs: int = 2) -> Dict:
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
         },
-        "scheduler": bench_scheduler(depths, max_decisions=max_decisions),
-        "policies": bench_policy_overhead(
+    }
+    if wanted("scheduler"):
+        bench["scheduler"] = bench_scheduler(depths, max_decisions=max_decisions)
+    if wanted("policies"):
+        bench["policies"] = bench_policy_overhead(
             depth=SMOKE_DEPTHS[-1] if smoke else 1000,
             max_decisions=250 if smoke else 1000,
-        ),
-        "cluster": bench_cluster_routing(
-            max_seconds=0.25 if smoke else 1.0,
+        )
+    if wanted("cluster"):
+        bench["cluster"] = bench_cluster_routing(
             max_decisions=50_000 if smoke else 200_000,
-        ),
-        "trace": bench_trace(
+        )
+    if wanted("trace"):
+        bench["trace"] = bench_trace(
             record_events=50_000 if smoke else 200_000,
             num_requests=300 if smoke else 800,
-        ),
-    }
-    if not smoke:
+        )
+    # The sustained sweep is the expensive section (~30s at 10^6 x 4
+    # policies); smoke mode skips it unless named via --only.
+    if (only is not None and "sustained" in only) or (only is None and not smoke):
+        bench["sustained"] = bench_sustained(
+            num_requests=sustained_requests or SUSTAINED_REQUESTS
+        )
+    if wanted("fig7") and not smoke:
         bench["fig7_quick"] = bench_fig7_quick(jobs=jobs)
     return bench
 
@@ -369,7 +490,7 @@ def check_regression(current: Dict, baseline_path: str) -> List[str]:
         baseline = json.load(fh)
     failures = []
     for name, entry in baseline.get("scheduler", {}).items():
-        if name not in current["scheduler"]:
+        if name not in current.get("scheduler", {}):
             continue
         base_rate = entry["fast"]["decisions_per_sec"]
         cur_rate = current["scheduler"][name]["fast"]["decisions_per_sec"]
@@ -381,12 +502,30 @@ def check_regression(current: Dict, baseline_path: str) -> List[str]:
     for name, entry in baseline.get("cluster", {}).items():
         if name not in current.get("cluster", {}):
             continue
-        base_rate = entry["decisions_per_sec"]
-        cur_rate = current["cluster"][name]["decisions_per_sec"]
+        # Schema 5 nests per-path timings; schema <= 4 baselines put the
+        # (brute-force) rate at the top level.
+        base_rate = entry.get("fast", entry)["decisions_per_sec"]
+        cur_entry = current["cluster"][name]
+        cur_rate = cur_entry.get("fast", cur_entry)["decisions_per_sec"]
         if base_rate > 0 and cur_rate < base_rate / REGRESSION_FACTOR:
             failures.append(
                 f"cluster routing {name}: {cur_rate:,.0f} decisions/s is more "
                 f"than {REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
+            )
+        if cur_entry.get("identical_decisions") is False:
+            failures.append(
+                f"cluster routing {name}: indexed fast path diverged from "
+                "the brute-force decision sequence"
+            )
+    for name, entry in baseline.get("sustained", {}).items():
+        if name not in current.get("sustained", {}):
+            continue
+        base_rate = entry["requests_per_sec"]
+        cur_rate = current["sustained"][name]["requests_per_sec"]
+        if base_rate > 0 and cur_rate < base_rate / REGRESSION_FACTOR:
+            failures.append(
+                f"sustained {name}: {cur_rate:,.0f} requests/s is more than "
+                f"{REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
             )
     base_trace = baseline.get("trace", {}).get("events_per_sec")
     cur_trace = current.get("trace", {}).get("events_per_sec")
@@ -400,7 +539,7 @@ def check_regression(current: Dict, baseline_path: str) -> List[str]:
 
 def _print_report(bench: Dict) -> None:
     print("== engine benchmark ==")
-    for name, entry in bench["scheduler"].items():
+    for name, entry in bench.get("scheduler", {}).items():
         print(
             f"{name}: fast {entry['fast']['decisions_per_sec']:,.0f} dec/s, "
             f"brute {entry['brute_force']['decisions_per_sec']:,.0f} dec/s, "
@@ -419,11 +558,24 @@ def _print_report(bench: Dict) -> None:
     cluster = bench.get("cluster", {})
     if cluster:
         replicas = next(iter(cluster.values()))["num_replicas"]
-        parts = [
-            f"{name} {entry['decisions_per_sec']:,.0f} dec/s"
-            for name, entry in cluster.items()
-        ]
-        print(f"cluster routing @{replicas} replicas: " + ", ".join(parts))
+        for name, entry in cluster.items():
+            identical = "identical" if entry["identical_decisions"] else "DIVERGED"
+            print(
+                f"cluster {name} @{replicas} replicas: "
+                f"fast {entry['fast']['us_per_decision']:.2f} us/dec, "
+                f"brute {entry['brute_force']['us_per_decision']:.2f} us/dec, "
+                f"speedup {entry['speedup']:.1f}x, decisions {identical}"
+            )
+    sustained = bench.get("sustained", {})
+    if sustained:
+        for name, entry in sustained.items():
+            print(
+                f"sustained {name} @{entry['num_replicas']} replicas: "
+                f"{entry['requests_per_sec']:,.0f} req/s over "
+                f"{entry['requests']:,} requests, decision p50 "
+                f"{entry['decision_p50_us']:.2f} us / p99 "
+                f"{entry['decision_p99_us']:.2f} us"
+            )
     trace = bench.get("trace")
     if trace:
         print(
@@ -471,9 +623,56 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="compare against a committed BENCH_engine.json; exit 1 on a "
         f">{REGRESSION_FACTOR}x decisions/sec regression",
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="SECTIONS",
+        help="comma-separated subset of sections to run "
+        f"(from: {', '.join(BENCH_SECTIONS)})",
+    )
+    parser.add_argument(
+        "--sustained-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="request count for the sustained sweep (default: 1,000,000)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-20 cumulative entries",
+    )
     args = parser.parse_args(argv)
 
-    bench = run_engine_bench(smoke=args.smoke, jobs=args.jobs)
+    only: Optional[List[str]] = None
+    if args.only:
+        only = [section.strip() for section in args.only.split(",") if section.strip()]
+        unknown = [s for s in only if s not in BENCH_SECTIONS]
+        if unknown:
+            print(
+                f"error: unknown section(s) {', '.join(unknown)} "
+                f"(have: {', '.join(BENCH_SECTIONS)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    def run() -> Dict:
+        return run_engine_bench(
+            smoke=args.smoke,
+            jobs=args.jobs,
+            only=only,
+            sustained_requests=args.sustained_requests,
+        )
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        bench = profiler.runcall(run)
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    else:
+        bench = run()
     _print_report(bench)
 
     failures: List[str] = []
@@ -490,7 +689,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     out = args.out
     if out is None:
-        out = "BENCH_engine.json"
+        # A partial run must not clobber a committed full baseline.
+        out = "" if only is not None else "BENCH_engine.json"
     if out:
         with open(out, "w") as fh:
             json.dump(bench, fh, indent=2, sort_keys=True)

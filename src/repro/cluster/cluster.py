@@ -32,6 +32,7 @@ from typing import Any, List, Optional, Sequence
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
 from repro.cluster.faults import normalize_failures
+from repro.cluster.load_index import LoadIndex
 from repro.cluster.metrics import ClusterCounters, ClusterStats, aggregate_fault_counters
 from repro.cluster.replica import ALIVE, DEAD, DRAINING, RETIRED, WARMING, Replica
 from repro.cluster.routing import make_router
@@ -77,6 +78,11 @@ class ClusterServer(InferenceServer):
         self._replica_runtime = dict(replica_runtime)
         self.replicas: List[Replica] = []
         self._next_replica_id = 0
+        # Event-driven per-replica load index (DESIGN.md §13): replicas push
+        # deltas, load-aware routers pop the tied minimum instead of
+        # scanning.  ``fast_path=False`` on the router keeps the scan.
+        self.load_index = LoadIndex(now=self.loop.now)
+        self.router.attach_index(self.load_index)
         self.cluster_counters = ClusterCounters()
         # Deterministic (time, action, replica_id) log of scaling/fault
         # lifecycle transitions; fixed-seed runs replay it exactly.
@@ -164,6 +170,7 @@ class ClusterServer(InferenceServer):
             replica_id, server, state=state, created_at=self.loop.now()
         )
         self.replicas.append(replica)
+        self.load_index.register(replica)
         if self.trace_recorder is not None:
             server.attach_trace(self.trace_recorder, replica_id=replica_id)
         return replica
@@ -239,9 +246,12 @@ class ClusterServer(InferenceServer):
 
     def _candidates(self) -> List[Replica]:
         """Routable replicas in replica-id order (creation order — never a
-        dict/set walk).  With no ALIVE replica, DRAINING ones still serve
-        rather than dropping traffic below the autoscaler's floor."""
-        alive = [r for r in self.replicas if r.state == ALIVE]
+        dict/set walk).  The common case returns the load index's cached
+        ALIVE pool — the exact list object the router's fast path identity-
+        checks against.  With no ALIVE replica, DRAINING ones still serve
+        rather than dropping traffic below the autoscaler's floor (a
+        different list, so the router falls back to the scan)."""
+        alive = self.load_index.routable()
         if alive:
             return alive
         return [r for r in self.replicas if r.state == DRAINING]

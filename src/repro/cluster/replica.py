@@ -47,6 +47,9 @@ class Replica:
     ):
         self.replica_id = replica_id
         self.server = server
+        # Routing index subscription (repro.cluster.load_index); must exist
+        # before the first ``state`` assignment — the setter notifies it.
+        self._index = None
         self.state = state
         self.created_at = created_at
         self.activated_at: Optional[float] = created_at if state == ALIVE else None
@@ -66,6 +69,34 @@ class Replica:
         self.ewma_latency = 0.0
 
     # -- routing interface ----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @state.setter
+    def state(self, value: str) -> None:
+        """Lifecycle transitions flow through here so the routing index
+        sees every entry to / exit from the routable pool (DESIGN.md §13)."""
+        self._state = value
+        if self._index is not None:
+            self._index.on_state(self)
+
+    def attach_index(self, index) -> None:
+        """Subscribe ``index`` to this replica's load deltas.
+
+        Two delta sources feed it: the server's ``load_listener`` fires on
+        every terminal-list append (the outstanding-count events), and — for
+        BatchMaker engines — the manager's ``on_load_changed`` fires on every
+        event that moves the projected queueing delay (batch kicked, task
+        completed/failed/retried, device lost).  ``route``/``observe_latency``
+        push their deltas directly.  Idempotent; one index per replica.
+        """
+        self._index = index
+        self.server.load_listener = lambda: index.touch(self)
+        manager = getattr(self.server, "manager", None)
+        if manager is not None:
+            manager.on_load_changed = lambda: index.touch_projected(self)
 
     @property
     def routable(self) -> bool:
@@ -102,6 +133,8 @@ class Replica:
             self.ewma_latency = latency
         else:
             self.ewma_latency += 0.2 * (latency - self.ewma_latency)
+        if self._index is not None:  # the EWMA feeds the projected-delay key
+            self._index.touch_projected(self)
 
     # -- shadow lifecycle ------------------------------------------------------
 
@@ -113,6 +146,8 @@ class Replica:
         self.shadow_of[shadow.request_id] = logical
         self.routed += 1
         self.server._accept(shadow)
+        if self._index is not None:  # routed moved both load metrics
+            self._index.touch(self)
         return shadow
 
     def orphan_logicals(self):

@@ -87,6 +87,11 @@ class Manager:
         # Running per-node service-time estimate (EWMA) for the projected
         # queueing delay used by load shedding.
         self._node_time_estimate = 0.0
+        # Load-delta hook (repro.cluster.load_index): fired after any event
+        # that can move ``projected_queue_delay`` — admission, batch kicked,
+        # task completed/failed/retried, device lost, cancellation.  None
+        # for a standalone server (one attribute load per event).
+        self.on_load_changed = None
 
         self.policies = (
             policies if policies is not None else PolicyBundle.from_config(config)
@@ -186,6 +191,16 @@ class Manager:
             )
         self.processor.add_request(request)
         self._poke.kick()
+        self._notify_load()
+
+    def _notify_load(self) -> None:
+        """Tell the subscriber (a cluster's load index) that this engine's
+        projected queueing delay may have moved.  Every call site is an
+        *event* — the only other way the delay changes is device backlog
+        decaying with the clock, which the index handles as volatility
+        (DESIGN.md §13)."""
+        if self.on_load_changed is not None:
+            self.on_load_changed()
 
     # -- SLA: admission control ---------------------------------------------
 
@@ -225,6 +240,7 @@ class Manager:
             subgraph.request.mark_started(self.loop.now())
             subgraph.last_worker = worker.worker_id
         worker.submit(task, extra_cost=extra, fault=self._draw_fault(task))
+        self._notify_load()
 
     def _draw_fault(self, task: BatchedTask):
         if self.fault_plan is None:
@@ -251,6 +267,7 @@ class Manager:
         self._observe_task(task)
         self.processor.handle_task_completion(task, self.loop.now())
         self._poke_idle_workers()
+        self._notify_load()
 
     def _trace_task_span(self, task: BatchedTask, cat: str, end: float) -> None:
         """One span per task execution, ending at its retire time.  The
@@ -296,6 +313,7 @@ class Manager:
         the failure budget is spent."""
         self.scheduler.task_completed(task)
         self.fault_counters.tasks_failed += 1
+        self._notify_load()
         if self.trace is not None:
             if reason == "device_lost":
                 # The kernel never retired: the device timeline is truncated
@@ -374,6 +392,7 @@ class Manager:
             sg.last_worker = target.worker_id
         self.scheduler.resubmit(task)
         target.submit(task, extra_cost=extra, fault=self._draw_fault(task))
+        self._notify_load()
 
     def _retry_target(self, task: BatchedTask) -> Optional[Worker]:
         """Retry placement (placement policy): by default the original
@@ -406,6 +425,7 @@ class Manager:
             # No devices left: everything still in flight is unservable.
             for request in list(self.processor.live_requests()):
                 self._cancel_request(request, reason="no_devices")
+        self._notify_load()
 
     def _replacement_for(self, dead_worker_id: int) -> Optional[Worker]:
         return self.policies.placement.replacement_for(
@@ -451,6 +471,7 @@ class Manager:
             )
         if self._on_request_timed_out is not None:
             self._on_request_timed_out(request)
+        self._notify_load()
         return True
 
     @staticmethod
