@@ -41,7 +41,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA = 5
+BENCH_SCHEMA = 6
 DEFAULT_DEPTHS = (250, 1000, 4000)
 SMOKE_DEPTHS = (250, 1000)
 # Policy bundles timed by bench_policy_overhead: decision rate of the
@@ -181,6 +181,87 @@ def bench_policy_overhead(
             timing["decisions_per_sec"] / paper_rate if paper_rate else None
         )
         results[name] = {"queue_depth": depth, **timing}
+    return results
+
+
+class _FakeSLAManager:
+    """The minimal manager surface LazyKickPolicy.attach_engine needs:
+    a clock, the SLA, and a poke target for the wake timer."""
+
+    class _Kicker:
+        def kick(self) -> None:
+            pass
+
+    def __init__(self, loop, sla):
+        self.loop = loop
+        self.sla = sla
+        self._poke = self._Kicker()
+        self.predictor = None
+
+
+def bench_slo(depth: int = 1000, calls: int = 2000) -> Dict[str, Dict]:
+    """Slack-computation overhead per kick decision.
+
+    Times ``formation.form()`` — the call the scheduler makes for every
+    kick decision — on one loaded queue, across the lazy-kick states:
+
+    * ``paper`` — the baseline formation;
+    * ``lazy_inert`` — LazyKickPolicy without an SLA (must cost the same
+      as paper: the pass-through is a single attribute check);
+    * ``lazy_hold`` — active policy, abundant slack: the slack scan runs
+      and the hold path re-checks its deduplicated wake timer;
+    * ``lazy_kick`` — active policy, expired slack: the slack scan runs
+      and the plan is released.
+
+    ``vs_paper`` is the per-call cost ratio; the 2x regression gate is on
+    ``forms_per_sec`` so a superlinear slack scan cannot land silently.
+    """
+    from repro.core.config import BatchingConfig
+    from repro.faults.sla import SLAConfig
+    from repro.policies import bundle_from_names
+    from repro.sim.events import EventLoop
+
+    config = BatchingConfig.with_max_batch(4, max_tasks_to_submit=1)
+    worker = _BenchWorker(0)
+    scenarios = (
+        ("paper", None, None, None),
+        ("lazy_inert", "lazy_kick", None, None),
+        ("lazy_hold", "lazy_kick", SLAConfig(default_deadline=0.5), 1.0),
+        ("lazy_kick", "lazy_kick", SLAConfig(default_deadline=0.5), 0.0),
+    )
+    results: Dict[str, Dict] = {}
+    paper_rate = None
+    for name, formation, sla, deadline in scenarios:
+        bundle = bundle_from_names(
+            config, **({"formation": formation} if formation else {})
+        )
+        scheduler = _build_loaded_scheduler(True, depth, policies=bundle)
+        policy = bundle.formation
+        if sla is not None:
+            policy.attach_engine(_FakeSLAManager(EventLoop(), sla))
+            # A plausible per-node service estimate, so the slack scan
+            # exercises the real predicted_service path.
+            policy.predictor.observe_task(2e-3, 4)
+        queue = next(iter(scheduler._queues.values()))
+        if deadline is not None:
+            for sg in queue.subgraphs.values():
+                sg.request.deadline = deadline
+        form = policy.form
+        start = time.perf_counter()
+        for _ in range(calls):
+            form(queue, worker)
+        elapsed = time.perf_counter() - start
+        rate = calls / elapsed if elapsed > 0 else 0.0
+        if name == "paper":
+            paper_rate = rate
+        results[name] = {
+            "queue_depth": depth,
+            "calls": calls,
+            "seconds": elapsed,
+            "forms_per_sec": rate,
+            "us_per_form": 1e6 / rate if rate > 0 else None,
+            "vs_paper": rate / paper_rate if paper_rate else None,
+        }
     return results
 
 
@@ -424,6 +505,7 @@ def _summaries_identical(a: Dict[str, List], b: Dict[str, List]) -> bool:
 BENCH_SECTIONS = (
     "scheduler",
     "policies",
+    "slo",
     "cluster",
     "trace",
     "sustained",
@@ -460,6 +542,11 @@ def run_engine_bench(
         bench["policies"] = bench_policy_overhead(
             depth=SMOKE_DEPTHS[-1] if smoke else 1000,
             max_decisions=250 if smoke else 1000,
+        )
+    if wanted("slo"):
+        bench["slo"] = bench_slo(
+            depth=SMOKE_DEPTHS[-1] if smoke else 1000,
+            calls=500 if smoke else 2000,
         )
     if wanted("cluster"):
         bench["cluster"] = bench_cluster_routing(
@@ -517,6 +604,16 @@ def check_regression(current: Dict, baseline_path: str) -> List[str]:
                 f"cluster routing {name}: indexed fast path diverged from "
                 "the brute-force decision sequence"
             )
+    for name, entry in baseline.get("slo", {}).items():
+        if name not in current.get("slo", {}):
+            continue
+        base_rate = entry["forms_per_sec"]
+        cur_rate = current["slo"][name]["forms_per_sec"]
+        if base_rate > 0 and cur_rate < base_rate / REGRESSION_FACTOR:
+            failures.append(
+                f"slo kick decision {name}: {cur_rate:,.0f} forms/s is more "
+                f"than {REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
+            )
     for name, entry in baseline.get("sustained", {}).items():
         if name not in current.get("sustained", {}):
             continue
@@ -555,6 +652,16 @@ def _print_report(bench: Dict) -> None:
             if entry["us_per_decision"] is not None
         ]
         print(f"policy bundles @depth {depth}: " + ", ".join(parts))
+    slo = bench.get("slo", {})
+    if slo:
+        depth = next(iter(slo.values()))["queue_depth"]
+        parts = [
+            f"{name} {entry['us_per_form']:.1f} us/form"
+            + (f" ({entry['vs_paper']:.2f}x)" if name != "paper" else "")
+            for name, entry in slo.items()
+            if entry["us_per_form"] is not None
+        ]
+        print(f"slo kick decisions @depth {depth}: " + ", ".join(parts))
     cluster = bench.get("cluster", {})
     if cluster:
         replicas = next(iter(cluster.values()))["num_replicas"]

@@ -37,6 +37,8 @@ from repro.cluster.metrics import ClusterCounters, ClusterStats, aggregate_fault
 from repro.cluster.replica import ALIVE, DEAD, DRAINING, RETIRED, WARMING, Replica
 from repro.cluster.routing import make_router
 from repro.core.request import InferenceRequest
+from repro.faults.sla import SLAConfig
+from repro.policies.predict import LatencyPredictor
 from repro.registry import build_server
 from repro.registry.specs import ClusterSpec
 from repro.server import InferenceServer, ensure_loop
@@ -76,6 +78,17 @@ class ClusterServer(InferenceServer):
         self.seed = spec.seed
         self.router = make_router(spec.router, seed=spec.seed, **spec.router_params)
         self._replica_runtime = dict(replica_runtime)
+        # Front-door SLO admission (DESIGN.md §14): when the spec carries a
+        # cluster-level SLA, a cluster-wide predictor (fed from observed
+        # logical completions) estimates each arrival's completion time and
+        # sheds the ones that cannot make their deadline.  ``None`` = off:
+        # _accept then runs the exact pre-SLA path.
+        self.sla: Optional[SLAConfig] = (
+            SLAConfig.from_dict(spec.sla) if spec.sla else None
+        )
+        self.predictor: Optional[LatencyPredictor] = (
+            LatencyPredictor() if self.sla is not None else None
+        )
         self.replicas: List[Replica] = []
         self._next_replica_id = 0
         # Event-driven per-replica load index (DESIGN.md §13): replicas push
@@ -169,6 +182,12 @@ class ClusterServer(InferenceServer):
         replica = Replica(
             replica_id, server, state=state, created_at=self.loop.now()
         )
+        # Per-replica predictor behind the predicted_delay routing metric —
+        # per replica (not the cluster's) so one completion dirties one
+        # index key.  Left None otherwise: the metric then falls back to
+        # projected_delay and the replica's event stream is unchanged.
+        if self.router.metric == "predicted_delay" or self.sla is not None:
+            replica.predictor = LatencyPredictor()
         self.replicas.append(replica)
         self.load_index.register(replica)
         if self.trace_recorder is not None:
@@ -278,6 +297,8 @@ class ClusterServer(InferenceServer):
                     args={"reason": "no_replicas"},
                 )
             return
+        if self.sla is not None and self._sla_reject(request, candidates, now):
+            return
         replica = self.router.choose(request, candidates)
         shadow = replica.route(request, now)
         if self._trace is not None:
@@ -295,6 +316,47 @@ class ClusterServer(InferenceServer):
             )
         if self.autoscaler is not None:
             self.autoscaler.observe(now)
+
+    # -- admission control ---------------------------------------------------
+
+    def _sla_reject(
+        self, request: InferenceRequest, candidates: List[Replica], now: float
+    ) -> bool:
+        """Shed ``request`` at the front door when its predicted completion
+        misses its deadline (or the best predicted wait exceeds the SLA's
+        queue-delay bound).  Consumes no router decision, so the routed /
+        decision accounting of admitted traffic is untouched.  Returns True
+        when the request was rejected (terminal, appended to ``rejected``)."""
+        sla = self.sla
+        # Predicted completion wait of the best candidate (outstanding x
+        # EWMA inter-completion gap — Little's law — once the replica
+        # predictors have observations; projected queue delay before).
+        best_wait = min(r.predicted_delay() for r in candidates)
+        over = (
+            sla.max_queue_delay is not None and best_wait > sla.max_queue_delay
+        )
+        if not over:
+            if request.deadline is not None:
+                deadline = request.deadline
+            elif sla.default_deadline is not None:
+                deadline = now + sla.default_deadline
+            else:
+                deadline = None
+            if deadline is not None and self.predictor.ready:
+                over = now + best_wait > deadline
+        if not over:
+            return False
+        request.mark_rejected(now, reason="sla_reject")
+        self.cluster_counters.sla_rejections += 1
+        self._rejected.append(request)
+        if self._trace is not None:
+            self._trace.instant(
+                trace_events.REQUEST_REJECTED,
+                trace_events.LIFECYCLE,
+                request_id=request.request_id,
+                args={"reason": "sla_reject"},
+            )
+        return True
 
     # -- reconciliation ------------------------------------------------------
 
@@ -334,7 +396,16 @@ class ClusterServer(InferenceServer):
         logical.result = shadow.result
         logical.mark_finished(shadow.finish_time)
         self._finished.append(logical)
-        replica.observe_latency(shadow.finish_time - shadow.arrival_time)
+        replica.observe_latency(
+            shadow.finish_time - shadow.arrival_time,
+            finish_time=shadow.finish_time,
+        )
+        if self.predictor is not None:  # the admission predictor
+            self.predictor.observe_request(
+                shadow.finish_time - shadow.arrival_time,
+                shadow.queuing_time,
+                shadow.computation_time,
+            )
 
     def _logical_timed_out(self, logical, shadow, replica) -> None:
         self._copy_progress(logical, shadow)

@@ -103,13 +103,31 @@ def _projected_volatile(replica) -> bool:
     return bool(backlogs) and min(backlogs) > 0.0
 
 
+def _predicted_key(replica) -> float:
+    return replica.predicted_delay()
+
+
+def _predicted_volatile(replica) -> bool:
+    """The predictor-backed key (EWMA x outstanding) is pure event-driven
+    state; only the projected-delay *fallback* — used until the replica's
+    predictor has observed a completion — can carry a decaying backlog."""
+    predictor = getattr(replica, "predictor", None)
+    if predictor is not None and predictor.ready:
+        return False
+    return _projected_volatile(replica)
+
+
 OUTSTANDING = LoadMetric("outstanding", _outstanding_key, _never_volatile)
 PROJECTED_DELAY = LoadMetric(
     "projected_delay", _projected_key, _projected_volatile
 )
+PREDICTED_DELAY = LoadMetric(
+    "predicted_delay", _predicted_key, _predicted_volatile
+)
 METRICS: Dict[str, LoadMetric] = {
     OUTSTANDING.name: OUTSTANDING,
     PROJECTED_DELAY.name: PROJECTED_DELAY,
+    PREDICTED_DELAY.name: PREDICTED_DELAY,
 }
 
 
@@ -279,12 +297,15 @@ class LoadIndex:
             m.hot = None
 
     def touch_projected(self, replica) -> None:
-        """An engine event changed the projected delay only (batch kicked,
-        task completed/failed, device lost, EWMA update)."""
-        m = self._metrics[PROJECTED_DELAY.name]
-        m.dirty.add(replica.replica_id)
-        m.cache = None
-        m.hot = None
+        """An engine event changed the delay estimates only (batch kicked,
+        task completed/failed, device lost, EWMA/predictor update) — the
+        outstanding count is untouched, but both delay metrics move."""
+        rid = replica.replica_id
+        for name in (PROJECTED_DELAY.name, PREDICTED_DELAY.name):
+            m = self._metrics[name]
+            m.dirty.add(rid)
+            m.cache = None
+            m.hot = None
 
     # -- queries -------------------------------------------------------------
 

@@ -26,6 +26,7 @@ class ClusterCounters:
         "cluster_rejections",   # arrivals rejected with no routable replica
         "replicas_spawned",     # autoscaler scale-ups
         "replicas_retired",     # autoscaler drains completed
+        "sla_rejections",       # arrivals shed by SLO admission control
     )
 
     def __init__(self):

@@ -67,6 +67,12 @@ class Replica:
         # EWMA of observed shadow latency; the shortest-queue router's
         # projected-delay fallback for engines without a manager.
         self.ewma_latency = 0.0
+        # Optional per-replica LatencyPredictor behind the predicted_delay
+        # routing metric; per-replica (not cluster-shared) so a completion
+        # dirties one replica's index key, not all of them.  The previous
+        # completion instant turns finish times into inter-completion gaps.
+        self.predictor = None
+        self._last_finish: Optional[float] = None
 
     # -- routing interface ----------------------------------------------------
 
@@ -128,11 +134,28 @@ class Replica:
             return manager.projected_queue_delay()
         return self.ewma_latency * self.outstanding()
 
-    def observe_latency(self, latency: float) -> None:
+    def predicted_delay(self) -> float:
+        """Predicted seconds until a request newly routed here completes:
+        the outstanding shadow count times the per-replica predictor's EWMA
+        inter-completion gap (Little's law — the ``predicted_delay``
+        routing metric and the admission estimate), falling back to
+        :meth:`projected_delay` until the predictor has seen a completion."""
+        predictor = self.predictor
+        if predictor is not None and predictor.ready:
+            return predictor.predicted_queue_delay(self.outstanding())
+        return self.projected_delay()
+
+    def observe_latency(self, latency: float, finish_time: Optional[float] = None) -> None:
         if self.ewma_latency == 0.0:
             self.ewma_latency = latency
         else:
             self.ewma_latency += 0.2 * (latency - self.ewma_latency)
+        if self.predictor is not None:
+            self.predictor.observe_request(latency)
+            if finish_time is not None:
+                if self._last_finish is not None:
+                    self.predictor.observe_gap(finish_time - self._last_finish)
+                self._last_finish = finish_time
         if self._index is not None:  # the EWMA feeds the projected-delay key
             self._index.touch_projected(self)
 

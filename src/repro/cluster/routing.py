@@ -219,6 +219,36 @@ class ShortestQueueRouter(RoutingPolicy):
         return self._best(request, candidates, lambda r: r.projected_delay())
 
 
+class PredictedDelayRouter(RoutingPolicy):
+    """Join the queue with the smallest *predicted* wait: each replica's
+    online :class:`~repro.policies.LatencyPredictor` (fed from observed
+    shadow latencies) scaled by its outstanding count.  Falls back to the
+    projected-delay estimate per replica until its predictor has seen a
+    completion, so the first decisions match ``shortest_queue``."""
+
+    name = "predicted_delay"
+    metric = "predicted_delay"
+
+    def choose(self, request, candidates):
+        # Same inlined clean-cache hit as LeastOutstandingRouter; volatile
+        # (clock-decaying) keys always take the full tied_min path.
+        self.decisions += 1
+        m = self._mindex
+        if m is not None:
+            tied = m.hot
+            if tied is not None and candidates is m.hot_pool:
+                self._stats.cached_queries += 1
+                if len(tied) == 1:
+                    return tied[0]
+                x = (self._tie_premix + request.request_id) & 0xFFFFFFFFFFFFFFFF
+                x ^= x >> 31
+                return tied[x % len(tied)]
+        return self._choose(request, candidates)
+
+    def _choose(self, request, candidates):
+        return self._best(request, candidates, lambda r: r.predicted_delay())
+
+
 class LengthBucketedRouter(RoutingPolicy):
     """Send similar-length requests to the same replica.
 
@@ -247,6 +277,7 @@ ROUTERS: Dict[str, Type[RoutingPolicy]] = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastOutstandingRouter.name: LeastOutstandingRouter,
     ShortestQueueRouter.name: ShortestQueueRouter,
+    PredictedDelayRouter.name: PredictedDelayRouter,
     LengthBucketedRouter.name: LengthBucketedRouter,
 }
 

@@ -81,6 +81,11 @@ class Manager:
             else None
         )
         self.sla = sla
+        # Latency predictor (repro.policies.predict): fed from completed
+        # tasks/requests when present.  Installed from the SLA config, or by
+        # an SLA-aware formation policy's attach_engine (lazy kick); None
+        # means no predictions are maintained (zero-cost default).
+        self.predictor = sla.predictor if sla is not None else None
         self.fault_counters = FaultCounters()
         self.timed_out_requests: List[InferenceRequest] = []
         self.rejected_requests: List[InferenceRequest] = []
@@ -100,6 +105,9 @@ class Manager:
         self.scheduler = Scheduler(
             config, submit=self._submit_task, policies=self.policies
         )
+        # SLA-aware formation policies (lazy kick) need the engine's clock,
+        # SLA config and poke handle; the default policies ignore the hook.
+        self.policies.formation.attach_engine(self)
         for cell_type in model.cell_types():
             self.scheduler.register_cell_type(cell_type)
 
@@ -226,6 +234,8 @@ class Manager:
         """Fold a completed task into the per-node service-time EWMA."""
         if not task.duration or not task.batch_size:
             return
+        if self.predictor is not None:
+            self.predictor.observe_task(task.duration, task.batch_size)
         sample = task.duration / task.batch_size
         if self._node_time_estimate == 0.0:
             self._node_time_estimate = sample
@@ -294,6 +304,10 @@ class Manager:
     def _finished(self, request: InferenceRequest) -> None:
         request.mark_finished(self.loop.now())
         self._disarm_timeout(request)
+        if self.predictor is not None:
+            self.predictor.observe_request(
+                request.latency, request.queuing_time, request.computation_time
+            )
         self.fault_counters.requests_completed += 1
         self.finished_requests.append(request)
         if self.trace is not None:

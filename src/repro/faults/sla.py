@@ -10,7 +10,7 @@ to fail it in the first place.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 
 class RetryPolicy:
@@ -44,6 +44,21 @@ class RetryPolicy:
         retries already performed)."""
         return self.backoff_base * self.backoff_factor ** attempt
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RetryPolicy":
+        return cls(
+            max_retries=data.get("max_retries", 3),
+            backoff_base=data.get("backoff_base", 200e-6),
+            backoff_factor=data.get("backoff_factor", 2.0),
+        )
+
     def __repr__(self) -> str:
         return (
             f"RetryPolicy(max_retries={self.max_retries}, "
@@ -69,6 +84,21 @@ class SLAConfig:
         ``None`` disables shedding.
     retry:
         The :class:`RetryPolicy` for failed tasks.
+    kick_margin:
+        Slack safety margin (seconds) for slack-aware batch formation
+        (:class:`~repro.policies.LazyKickPolicy`): a held batch is kicked
+        once any member's slack falls to this margin.  ``None`` lets the
+        policy use its default; the field is inert unless the server runs
+        the lazy-kick formation.
+    max_hold:
+        Upper bound (seconds) on the cumulative delay lazy-kick may add
+        to any one request, measured from its arrival — slack beyond this
+        is never spent waiting; also inert without the policy.
+    predictor:
+        Optional :class:`~repro.policies.LatencyPredictor` instance (a
+        runtime object, never serialised) shared between the lazy-kick
+        slack computation and external observers; ``None`` lets the
+        policy create its own.
     """
 
     def __init__(
@@ -76,17 +106,50 @@ class SLAConfig:
         default_deadline: Optional[float] = None,
         max_queue_delay: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
+        kick_margin: Optional[float] = None,
+        max_hold: Optional[float] = None,
+        predictor: Optional[Any] = None,
     ):
         if default_deadline is not None and default_deadline <= 0:
             raise ValueError("default_deadline must be positive")
         if max_queue_delay is not None and max_queue_delay <= 0:
             raise ValueError("max_queue_delay must be positive")
+        if kick_margin is not None and kick_margin < 0:
+            raise ValueError("kick_margin must be >= 0")
+        if max_hold is not None and max_hold <= 0:
+            raise ValueError("max_hold must be positive")
         self.default_deadline = default_deadline
         self.max_queue_delay = max_queue_delay
         self.retry = retry if retry is not None else RetryPolicy()
+        self.kick_margin = kick_margin
+        self.max_hold = max_hold
+        self.predictor = predictor
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialisable form (the predictor is runtime state and stays
+        out); backs the ``sla`` field on registry specs."""
+        return {
+            "default_deadline": self.default_deadline,
+            "max_queue_delay": self.max_queue_delay,
+            "retry": self.retry.to_dict(),
+            "kick_margin": self.kick_margin,
+            "max_hold": self.max_hold,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SLAConfig":
+        retry = data.get("retry")
+        return cls(
+            default_deadline=data.get("default_deadline"),
+            max_queue_delay=data.get("max_queue_delay"),
+            retry=RetryPolicy.from_dict(retry) if retry is not None else None,
+            kick_margin=data.get("kick_margin"),
+            max_hold=data.get("max_hold"),
+        )
 
     def __repr__(self) -> str:
         return (
             f"SLAConfig(default_deadline={self.default_deadline}, "
-            f"max_queue_delay={self.max_queue_delay}, retry={self.retry})"
+            f"max_queue_delay={self.max_queue_delay}, retry={self.retry}, "
+            f"kick_margin={self.kick_margin}, max_hold={self.max_hold})"
         )

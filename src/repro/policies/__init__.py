@@ -36,6 +36,8 @@ from repro.policies.defaults import (
     PaperQueuePriority,
     PinnedPlacement,
 )
+from repro.policies.predict import LatencyPredictor
+from repro.policies.slo import LazyKickPolicy
 from repro.policies.variants import (
     FixedPlacement,
     FlatQueuePriority,
@@ -59,6 +61,7 @@ PLACEMENT_POLICIES = {
 FORMATION_POLICIES = {
     "paper": PaperBatchFormation,
     "no_mix": NoMixFormation,
+    "lazy_kick": LazyKickPolicy,
 }
 
 
@@ -80,7 +83,7 @@ def make_formation(name: str, fast_path: bool = True) -> BatchFormationPolicy:
             f"unknown batch-formation policy {name!r} "
             f"(have: {sorted(FORMATION_POLICIES)})"
         )
-    if cls is PaperBatchFormation:
+    if cls in (PaperBatchFormation, LazyKickPolicy):
         return cls(fast_path=fast_path)
     return cls()
 
@@ -132,6 +135,8 @@ __all__ = [
     "UnpinnedPlacement",
     "FixedPlacement",
     "NoMixFormation",
+    "LazyKickPolicy",
+    "LatencyPredictor",
     "PRIORITY_POLICIES",
     "PLACEMENT_POLICIES",
     "FORMATION_POLICIES",

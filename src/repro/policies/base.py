@@ -129,6 +129,11 @@ class BatchFormationPolicy:
         min-batch rule."""
         raise NotImplementedError
 
+    def attach_engine(self, manager) -> None:
+        """The owning manager introduces itself (once, at construction).
+        SLA-aware policies that need the clock, the SLA config or a poke
+        handle hook this; the default policies ignore it."""
+
     def on_subgraph_removed(
         self, queue: "CellTypeQueue", sg: "Subgraph"
     ) -> None:

@@ -61,6 +61,11 @@ def _build_batchmaker(spec, loop, runtime):
         if config is None:
             config = BatchingConfig.with_max_batch(512)  # server default
         policies = bundle_from_names(config, **spec.policies)
+    sla = runtime.pop("sla", None)
+    if sla is None and spec.sla:
+        from repro.faults.sla import SLAConfig
+
+        sla = SLAConfig.from_dict(spec.sla)
     return BatchMakerServer(
         make_model(spec.model, **spec.model_args),
         config=config,
@@ -70,7 +75,7 @@ def _build_batchmaker(spec, loop, runtime):
         cost_model=runtime.pop("cost_model", None),
         real_compute=runtime.pop("real_compute", False),
         fault_plan=runtime.pop("fault_plan", None),
-        sla=runtime.pop("sla", None),
+        sla=sla,
         **_named(spec),
     )
 

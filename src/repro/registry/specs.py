@@ -45,6 +45,11 @@ class ServerSpec:
         Engine-specific knobs: bucket_width / max_batch /
         per_batch_overhead ... for the padded servers, ``variant`` or
         overhead constants for fold, ``template`` for ideal.
+    sla:
+        ``SLAConfig.to_dict()`` form (batchmaker only): deadlines,
+        shedding, retry and lazy-kick knobs (see :mod:`repro.faults.sla`);
+        None means no SLA — the bit-identity-guaranteed path.  A runtime
+        ``sla=`` override passed to ``build_server`` wins over this field.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class ServerSpec:
         config: Optional[Dict[str, Any]] = None,
         policies: Optional[Dict[str, str]] = None,
         params: Optional[Dict[str, Any]] = None,
+        sla: Optional[Dict[str, Any]] = None,
     ):
         if kind not in KINDS:
             raise ValueError(f"unknown server kind {kind!r} (have: {KINDS})")
@@ -70,6 +76,7 @@ class ServerSpec:
         self.config = config
         self.policies = dict(policies or {})
         self.params = dict(params or {})
+        self.sla = dict(sla) if sla is not None else None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -81,6 +88,7 @@ class ServerSpec:
             "config": self.config,
             "policies": dict(self.policies),
             "params": dict(self.params),
+            "sla": dict(self.sla) if self.sla is not None else None,
         }
 
     @classmethod
@@ -94,6 +102,7 @@ class ServerSpec:
             config=data.get("config"),
             policies=data.get("policies"),
             params=data.get("params"),
+            sla=data.get("sla"),
         )
 
     def replace(self, **changes: Any) -> "ServerSpec":
@@ -142,6 +151,12 @@ class ClusterSpec:
         the cluster keeps exactly ``num_replicas`` replicas.
     name:
         Display name; None derives one from the router and replica count.
+    sla:
+        ``SLAConfig.to_dict()`` form for the *front door*: cluster-level
+        admission control sheds arrivals whose predicted completion misses
+        their deadline (``default_deadline``) or whose best predicted wait
+        exceeds ``max_queue_delay``.  Independent of the replica spec's
+        own ``sla``; None disables admission control entirely.
     """
 
     def __init__(
@@ -153,6 +168,7 @@ class ClusterSpec:
         seed: int = 0,
         autoscaler: Optional[Dict[str, Any]] = None,
         name: Optional[str] = None,
+        sla: Optional[Dict[str, Any]] = None,
     ):
         if not isinstance(replica, ServerSpec):
             raise TypeError(f"replica must be a ServerSpec, got {type(replica)!r}")
@@ -165,6 +181,7 @@ class ClusterSpec:
         self.seed = int(seed)
         self.autoscaler = dict(autoscaler) if autoscaler is not None else None
         self.name = name
+        self.sla = dict(sla) if sla is not None else None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -175,6 +192,7 @@ class ClusterSpec:
             "seed": self.seed,
             "autoscaler": dict(self.autoscaler) if self.autoscaler is not None else None,
             "name": self.name,
+            "sla": dict(self.sla) if self.sla is not None else None,
         }
 
     @classmethod
@@ -187,6 +205,7 @@ class ClusterSpec:
             seed=data.get("seed", 0),
             autoscaler=data.get("autoscaler"),
             name=data.get("name"),
+            sla=data.get("sla"),
         )
 
     def replace(self, **changes: Any) -> "ClusterSpec":

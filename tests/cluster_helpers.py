@@ -25,18 +25,19 @@ def build_lstm_cluster(
     replica_failures: Sequence = (),
     autoscaler=None,
     router_params=None,
+    sla=None,
 ) -> ClusterServer:
-    return build_cluster(
-        lstm_cluster_spec(
-            num_replicas=num_replicas,
-            router=router,
-            max_batch=max_batch,
-            seed=seed,
-            autoscaler=autoscaler,
-            router_params=router_params,
-        ),
-        replica_failures=replica_failures,
+    spec = lstm_cluster_spec(
+        num_replicas=num_replicas,
+        router=router,
+        max_batch=max_batch,
+        seed=seed,
+        autoscaler=autoscaler,
+        router_params=router_params,
     )
+    if sla is not None:  # cluster-level admission control (SLAConfig form)
+        spec = spec.replace(sla=sla)
+    return build_cluster(spec, replica_failures=replica_failures)
 
 
 def run_cluster(
@@ -105,7 +106,11 @@ def assert_cluster_invariants(cluster: ClusterServer, submitted: List) -> None:
     assert total_routed == (
         cluster.router.decisions
     ), "router decisions and routed shadows disagree"
-    front_end_rejections = counters.cluster_rejections + counters.requests_lost
+    front_end_rejections = (
+        counters.cluster_rejections
+        + counters.requests_lost
+        + counters.sla_rejections
+    )
     assert total_routed + front_end_rejections >= len(submitted), (
         "some requests neither routed nor rejected"
     )

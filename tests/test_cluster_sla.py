@@ -1,0 +1,149 @@
+"""SLO admission-control chaos tests at the cluster front door.
+
+Admission shedding (``ClusterSpec.sla``) interacts with every other
+front-end mechanism — routing, replica loss, re-routing, autoscaling and
+deadline eviction — so these tests drive the combinations under the
+chaos seeds and hold the conservation invariants: every logical request
+terminal exactly once, shed arrivals counted exactly once under
+``sla_rejections`` with the ``sla_reject`` cancel reason, and no replica
+left owning a shadow after the drain.
+"""
+
+import pytest
+
+from tests.chaos_helpers import chaos_seeds
+from tests.cluster_helpers import (
+    assert_cluster_invariants,
+    build_lstm_cluster,
+    run_cluster,
+)
+
+from repro.cluster import DEAD, AutoscalerConfig
+from repro.core.request import RequestState
+
+pytestmark = pytest.mark.chaos
+
+# A deliberately tight SLA: at the overload rates below, the predicted
+# completion of a fresh arrival overshoots this budget once queues build,
+# so the front door must start shedding.
+TIGHT_SLA = {"default_deadline": 6e-3}
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_admission_shedding_counters_reconcile(seed):
+    """Overload a small cluster behind the predicted_delay router: the
+    shed arrivals all carry the sla_reject reason and the counter matches
+    the rejected list exactly."""
+    cluster = build_lstm_cluster(
+        num_replicas=2,
+        router="predicted_delay",
+        seed=seed,
+        max_batch=16,
+        sla=TIGHT_SLA,
+    )
+    submitted = run_cluster(
+        cluster, rate=16000.0, num_requests=800, arrival_seed=seed
+    )
+    assert_cluster_invariants(cluster, submitted)
+    shed = [r for r in cluster.rejected if r.cancel_reason == "sla_reject"]
+    assert shed, "overload never triggered admission shedding"
+    assert cluster.cluster_counters.sla_rejections == len(shed)
+    for request in shed:
+        assert request.state is RequestState.REJECTED
+        assert request.terminal_time == request.arrival_time
+    # Shedding is an admission decision: a shed request consumed no
+    # routing decision and owns no shadow anywhere.
+    assert cluster.router.decisions == sum(r.routed for r in cluster.replicas)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_shedding_survives_replica_loss(seed):
+    """Kill a replica mid-overload: the survivor's load spikes, shedding
+    keeps the front door honest, and the counters still conserve."""
+    cluster = build_lstm_cluster(
+        num_replicas=2,
+        router="predicted_delay",
+        seed=seed,
+        max_batch=16,
+        sla=TIGHT_SLA,
+        replica_failures=[(0.015, 1)],
+    )
+    submitted = run_cluster(
+        cluster, rate=14000.0, num_requests=700, arrival_seed=seed
+    )
+    assert_cluster_invariants(cluster, submitted)
+    assert cluster.replicas[1].state == DEAD
+    assert cluster.cluster_counters.replicas_lost == 1
+    counters = cluster.cluster_counters
+    reasons = {r.cancel_reason for r in cluster.rejected}
+    assert reasons <= {"sla_reject", "no_replicas", "queue_full"}, reasons
+    assert counters.sla_rejections == sum(
+        1 for r in cluster.rejected if r.cancel_reason == "sla_reject"
+    )
+    assert counters.sla_rejections > 0
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_shedding_composes_with_autoscaler(seed):
+    """Autoscaling adds and retires replicas while the SLA sheds: the
+    terminal accounting must stay exact through both."""
+    autoscaler = AutoscalerConfig(
+        min_replicas=1,
+        max_replicas=3,
+        high_watermark=16.0,
+        low_watermark=1.0,
+        alpha=0.3,
+        warmup=2e-3,
+        cooldown=4e-3,
+    ).to_dict()
+    cluster = build_lstm_cluster(
+        num_replicas=1,
+        router="predicted_delay",
+        seed=seed,
+        max_batch=16,
+        sla=TIGHT_SLA,
+        autoscaler=autoscaler,
+    )
+    submitted = run_cluster(
+        cluster, rate=12000.0, num_requests=900, arrival_seed=seed
+    )
+    assert_cluster_invariants(cluster, submitted)
+    counters = cluster.cluster_counters
+    assert counters.replicas_spawned > 0, "load never tripped the scaler"
+    assert counters.sla_rejections == sum(
+        1 for r in cluster.rejected if r.cancel_reason == "sla_reject"
+    )
+    # Scale-up relieves pressure: with fresh replicas absorbing load,
+    # plenty of requests must still complete.
+    assert len(cluster.finished) > len(cluster.rejected)
+
+
+@pytest.mark.parametrize("seed", chaos_seeds())
+def test_cross_replica_deadline_eviction(seed):
+    """Requests re-routed across a replica failure keep their absolute
+    deadline: whichever replica ends up owning the shadow must evict at
+    that instant, exactly once, with no orphaned shadows left behind."""
+    cluster = build_lstm_cluster(
+        num_replicas=2,
+        router="round_robin",
+        seed=seed,
+        max_batch=16,
+        replica_failures=[(0.02, 0)],
+    )
+    submitted = run_cluster(
+        cluster,
+        rate=9000.0,
+        num_requests=500,
+        arrival_seed=seed,
+        deadline=8e-3,
+    )
+    assert_cluster_invariants(cluster, submitted)
+    assert cluster.cluster_counters.requests_rerouted > 0
+    assert cluster.timed_out, "overloaded survivor never evicted anyone"
+    for request in cluster.timed_out:
+        # Evicted at the deadline the arrival carried, never before, and
+        # not silently re-run past it by the re-route.
+        assert request.deadline is not None
+        assert request.terminal_time == pytest.approx(request.deadline)
+    for request in cluster.finished:
+        assert request.finish_time <= request.deadline
