@@ -20,6 +20,14 @@ Measurements:
   through an 8-replica pool per routing policy with steady completion
   churn — end-to-end requests/sec plus p50/p99 decision latency.
 
+* **Memory accounting** (:mod:`repro.gpu.memory` +
+  :class:`~repro.policies.memory.MemoryAwareFormation`): raw
+  reserve/release pairs/sec on one :class:`MemoryModel`, and the
+  per-kick ``form()`` cost across the policy's states — inert
+  pass-through (no spec attached: must cost the same as the paper
+  formation), active with a roomy budget (the fit filter runs and keeps
+  everything), and active under pressure (every member defers).
+
 * **Quick Fig-7 sweep wall-clock**, serial vs ``--jobs``-parallel, with an
   identical-summaries cross-check (the parallel runner must change nothing
   but the wall-clock).
@@ -41,7 +49,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA = 6
+BENCH_SCHEMA = 7
 DEFAULT_DEPTHS = (250, 1000, 4000)
 SMOKE_DEPTHS = (250, 1000)
 # Policy bundles timed by bench_policy_overhead: decision rate of the
@@ -262,6 +270,130 @@ def bench_slo(depth: int = 1000, calls: int = 2000) -> Dict[str, Dict]:
             "us_per_form": 1e6 / rate if rate > 0 else None,
             "vs_paper": rate / paper_rate if paper_rate else None,
         }
+    return results
+
+
+class _BenchMemDevice:
+    """The device surface MemoryAwareFormation.form touches: ``.memory``."""
+
+    def __init__(self, memory):
+        self.memory = memory
+
+
+class _BenchMemWorker(_BenchWorker):
+    def __init__(self, worker_id: int, memory):
+        super().__init__(worker_id)
+        self.device = _BenchMemDevice(memory)
+
+
+class _FakeMemoryManager:
+    """The minimal manager surface MemoryAwareFormation.attach_engine and
+    the defer path need: the spec, a clock for the retry poke, and a poke
+    target.  The cancel/evict paths are deliberately out of reach — the
+    bench scenarios are constructed so no member is ever hopeless."""
+
+    class _Kicker:
+        def kick(self) -> None:
+            pass
+
+    def __init__(self, loop, spec):
+        self.loop = loop
+        self.memory_spec = spec
+        self._poke = self._Kicker()
+
+
+def bench_memory(
+    depth: int = 1000, calls: int = 2000, reserve_ops: int = 200_000
+) -> Dict[str, Dict]:
+    """Memory-accounting overhead: the raw model and the kick filter.
+
+    ``model`` times reserve/release pairs on one :class:`MemoryModel` —
+    the accounting cost every dynamic-decode step pays when a budget is
+    configured.  ``form`` times the formation call across the policy's
+    states on one loaded queue:
+
+    * ``paper`` — the baseline formation;
+    * ``aware_inert`` — MemoryAwareFormation without a spec (must cost
+      the same as paper: the pass-through is a single attribute check);
+    * ``aware_fit`` — active policy, roomy budget: the fit filter walks
+      the plan and keeps every member;
+    * ``aware_defer`` — active policy, zero free bytes: every member
+      defers (the steady state of a device under pressure).
+
+    ``vs_paper`` is the per-call cost ratio; the 2x regression gate is
+    on ``pairs_per_sec`` and ``forms_per_sec`` so neither the accounting
+    nor the filter can grow superlinear silently.
+    """
+    from repro.core.config import BatchingConfig
+    from repro.gpu.memory import DEFAULT_STATE_BYTES, MemoryModel, MemorySpec
+    from repro.policies import bundle_from_names
+    from repro.sim.events import EventLoop
+
+    model = MemoryModel(capacity=1 << 40)
+    start = time.perf_counter()
+    for i in range(reserve_ops):
+        model.reserve(i & 1023, DEFAULT_STATE_BYTES)
+        model.release(i & 1023, DEFAULT_STATE_BYTES)
+    elapsed = time.perf_counter() - start
+    pair_rate = reserve_ops / elapsed if elapsed > 0 else 0.0
+    results: Dict[str, Dict] = {
+        "model": {
+            "pairs": reserve_ops,
+            "seconds": elapsed,
+            "pairs_per_sec": pair_rate,
+            "us_per_pair": 1e6 / pair_rate if pair_rate > 0 else None,
+        }
+    }
+
+    config = BatchingConfig.with_max_batch(4, max_tasks_to_submit=1)
+    # (name, capacity in state units, pre-reserved state units); None
+    # capacity means no spec is attached and the policy stays inert.
+    scenarios = (
+        ("paper", None, 0),
+        ("aware_inert", None, 0),
+        ("aware_fit", 1 << 20, 0),
+        ("aware_defer", 64, 64),
+    )
+    form_results: Dict[str, Dict] = {}
+    paper_rate = None
+    for name, capacity_units, held_units in scenarios:
+        formation = {} if name == "paper" else {"formation": "memory_aware"}
+        bundle = bundle_from_names(config, **formation)
+        scheduler = _build_loaded_scheduler(True, depth, policies=bundle)
+        policy = bundle.formation
+        worker: _BenchWorker
+        if capacity_units is None:
+            worker = _BenchWorker(0)
+        else:
+            loop = EventLoop()
+            # A far-future sentinel keeps loop.pending() > 0 so the defer
+            # path stays a deferral (progress looks possible) instead of
+            # escalating to the OOM triage the fake manager cannot serve.
+            loop.call_after(1e9, lambda: None)
+            spec = MemorySpec(capacity=capacity_units * DEFAULT_STATE_BYTES)
+            policy.attach_engine(_FakeMemoryManager(loop, spec))
+            memory = MemoryModel.from_spec(spec)
+            if held_units:
+                assert memory.reserve(10**9, held_units * DEFAULT_STATE_BYTES)
+            worker = _BenchMemWorker(0, memory)
+        queue = next(iter(scheduler._queues.values()))
+        form = policy.form
+        start = time.perf_counter()
+        for _ in range(calls):
+            form(queue, worker)
+        elapsed = time.perf_counter() - start
+        rate = calls / elapsed if elapsed > 0 else 0.0
+        if name == "paper":
+            paper_rate = rate
+        form_results[name] = {
+            "queue_depth": depth,
+            "calls": calls,
+            "seconds": elapsed,
+            "forms_per_sec": rate,
+            "us_per_form": 1e6 / rate if rate > 0 else None,
+            "vs_paper": rate / paper_rate if paper_rate else None,
+        }
+    results["form"] = form_results
     return results
 
 
@@ -506,6 +638,7 @@ BENCH_SECTIONS = (
     "scheduler",
     "policies",
     "slo",
+    "memory",
     "cluster",
     "trace",
     "sustained",
@@ -547,6 +680,12 @@ def run_engine_bench(
         bench["slo"] = bench_slo(
             depth=SMOKE_DEPTHS[-1] if smoke else 1000,
             calls=500 if smoke else 2000,
+        )
+    if wanted("memory"):
+        bench["memory"] = bench_memory(
+            depth=SMOKE_DEPTHS[-1] if smoke else 1000,
+            calls=500 if smoke else 2000,
+            reserve_ops=50_000 if smoke else 200_000,
         )
     if wanted("cluster"):
         bench["cluster"] = bench_cluster_routing(
@@ -614,6 +753,25 @@ def check_regression(current: Dict, baseline_path: str) -> List[str]:
                 f"slo kick decision {name}: {cur_rate:,.0f} forms/s is more "
                 f"than {REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
             )
+    base_memory = baseline.get("memory", {})
+    cur_memory = current.get("memory", {})
+    base_pairs = base_memory.get("model", {}).get("pairs_per_sec")
+    cur_pairs = cur_memory.get("model", {}).get("pairs_per_sec")
+    if base_pairs and cur_pairs and cur_pairs < base_pairs / REGRESSION_FACTOR:
+        failures.append(
+            f"memory accounting: {cur_pairs:,.0f} reserve/release pairs/s is "
+            f"more than {REGRESSION_FACTOR}x below baseline {base_pairs:,.0f}"
+        )
+    for name, entry in base_memory.get("form", {}).items():
+        if name not in cur_memory.get("form", {}):
+            continue
+        base_rate = entry["forms_per_sec"]
+        cur_rate = cur_memory["form"][name]["forms_per_sec"]
+        if base_rate > 0 and cur_rate < base_rate / REGRESSION_FACTOR:
+            failures.append(
+                f"memory kick filter {name}: {cur_rate:,.0f} forms/s is more "
+                f"than {REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
+            )
     for name, entry in baseline.get("sustained", {}).items():
         if name not in current.get("sustained", {}):
             continue
@@ -662,6 +820,24 @@ def _print_report(bench: Dict) -> None:
             if entry["us_per_form"] is not None
         ]
         print(f"slo kick decisions @depth {depth}: " + ", ".join(parts))
+    memory = bench.get("memory", {})
+    if memory:
+        model = memory.get("model", {})
+        if model.get("us_per_pair") is not None:
+            print(
+                f"memory model: {model['pairs_per_sec']:,.0f} reserve/release "
+                f"pairs/s ({model['us_per_pair']:.2f} us/pair)"
+            )
+        form = memory.get("form", {})
+        if form:
+            depth = next(iter(form.values()))["queue_depth"]
+            parts = [
+                f"{name} {entry['us_per_form']:.1f} us/form"
+                + (f" ({entry['vs_paper']:.2f}x)" if name != "paper" else "")
+                for name, entry in form.items()
+                if entry["us_per_form"] is not None
+            ]
+            print(f"memory kick filter @depth {depth}: " + ", ".join(parts))
     cluster = bench.get("cluster", {})
     if cluster:
         replicas = next(iter(cluster.values()))["num_replicas"]

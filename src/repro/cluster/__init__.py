@@ -12,7 +12,7 @@ Entry points:
 * :class:`~repro.registry.ClusterSpec` — the serialisable description.
 * :data:`~repro.cluster.routing.ROUTERS` — the routing-policy registry
   (``round_robin``, ``least_outstanding``, ``shortest_queue``,
-  ``predicted_delay``, ``length_bucketed``).
+  ``predicted_delay``, ``most_free_memory``, ``length_bucketed``).
 * :class:`AutoscalerConfig` — EWMA-load autoscaling knobs.
 * :class:`ReplicaFailure` — deterministic replica-loss injection.
 """
@@ -27,6 +27,7 @@ from repro.cluster.routing import (
     ROUTERS,
     LeastOutstandingRouter,
     LengthBucketedRouter,
+    MostFreeMemoryRouter,
     PredictedDelayRouter,
     RoundRobinRouter,
     RoutingPolicy,
@@ -52,6 +53,7 @@ __all__ = [
     "LeastOutstandingRouter",
     "LengthBucketedRouter",
     "LoadIndex",
+    "MostFreeMemoryRouter",
     "PredictedDelayRouter",
     "ROUTERS",
     "Replica",

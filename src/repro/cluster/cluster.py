@@ -38,6 +38,7 @@ from repro.cluster.replica import ALIVE, DEAD, DRAINING, RETIRED, WARMING, Repli
 from repro.cluster.routing import make_router
 from repro.core.request import InferenceRequest
 from repro.faults.sla import SLAConfig
+from repro.gpu.memory import MemorySpec
 from repro.policies.predict import LatencyPredictor
 from repro.registry import build_server
 from repro.registry.specs import ClusterSpec
@@ -88,6 +89,13 @@ class ClusterServer(InferenceServer):
         )
         self.predictor: Optional[LatencyPredictor] = (
             LatencyPredictor() if self.sla is not None else None
+        )
+        # Front-door memory admission (DESIGN.md §15): with a cluster-level
+        # MemorySpec carrying ``admission_free_bytes``, arrivals are shed
+        # while no candidate replica has that much free device memory.
+        # ``None`` (or no threshold) = off: _accept runs the exact prior path.
+        self.memory: Optional[MemorySpec] = (
+            MemorySpec.from_dict(spec.memory) if spec.memory else None
         )
         self.replicas: List[Replica] = []
         self._next_replica_id = 0
@@ -299,6 +307,8 @@ class ClusterServer(InferenceServer):
             return
         if self.sla is not None and self._sla_reject(request, candidates, now):
             return
+        if self.memory is not None and self._memory_reject(request, candidates, now):
+            return
         replica = self.router.choose(request, candidates)
         shadow = replica.route(request, now)
         if self._trace is not None:
@@ -355,6 +365,32 @@ class ClusterServer(InferenceServer):
                 trace_events.LIFECYCLE,
                 request_id=request.request_id,
                 args={"reason": "sla_reject"},
+            )
+        return True
+
+    def _memory_reject(
+        self, request: InferenceRequest, candidates: List[Replica], now: float
+    ) -> bool:
+        """Shed ``request`` at the front door while no candidate replica
+        has ``admission_free_bytes`` of free device memory — routing it
+        anywhere could only trigger evictions the replicas are already
+        working off.  Replicas without a memory model report infinite free
+        bytes, so the check is inert unless the replica spec carries a
+        MemorySpec.  Returns True when the request was rejected."""
+        threshold = self.memory.admission_free_bytes
+        if threshold is None:
+            return False
+        if max(r.free_memory() for r in candidates) >= threshold:
+            return False
+        request.mark_rejected(now, reason="memory_reject")
+        self.cluster_counters.memory_rejections += 1
+        self._rejected.append(request)
+        if self._trace is not None:
+            self._trace.instant(
+                trace_events.REQUEST_REJECTED,
+                trace_events.LIFECYCLE,
+                request_id=request.request_id,
+                args={"reason": "memory_reject"},
             )
         return True
 

@@ -103,6 +103,14 @@ def _projected_volatile(replica) -> bool:
     return bool(backlogs) and min(backlogs) > 0.0
 
 
+def _free_memory_key(replica) -> float:
+    """Negated so the shared min-heap maximises free bytes.  Replicas
+    without a memory model report infinite free memory, so they all tie at
+    -inf and the seeded tie-break takes over — the metric is inert unless
+    the replica spec carries a MemorySpec."""
+    return -replica.free_memory()
+
+
 def _predicted_key(replica) -> float:
     return replica.predicted_delay()
 
@@ -124,10 +132,14 @@ PROJECTED_DELAY = LoadMetric(
 PREDICTED_DELAY = LoadMetric(
     "predicted_delay", _predicted_key, _predicted_volatile
 )
+# Event-driven, never decays with time: bytes move only on reserve/release,
+# and every reserving/releasing engine path fires ``on_load_changed``.
+FREE_MEMORY = LoadMetric("free_memory", _free_memory_key, _never_volatile)
 METRICS: Dict[str, LoadMetric] = {
     OUTSTANDING.name: OUTSTANDING,
     PROJECTED_DELAY.name: PROJECTED_DELAY,
     PREDICTED_DELAY.name: PREDICTED_DELAY,
+    FREE_MEMORY.name: FREE_MEMORY,
 }
 
 
@@ -297,11 +309,12 @@ class LoadIndex:
             m.hot = None
 
     def touch_projected(self, replica) -> None:
-        """An engine event changed the delay estimates only (batch kicked,
-        task completed/failed, device lost, EWMA/predictor update) — the
-        outstanding count is untouched, but both delay metrics move."""
+        """An engine event changed the engine-derived signals only (batch
+        kicked, task completed/failed, device lost, memory reserved or
+        released, EWMA/predictor update) — the outstanding count is
+        untouched, but the delay metrics and free memory move."""
         rid = replica.replica_id
-        for name in (PROJECTED_DELAY.name, PREDICTED_DELAY.name):
+        for name in (PROJECTED_DELAY.name, PREDICTED_DELAY.name, FREE_MEMORY.name):
             m = self._metrics[name]
             m.dirty.add(rid)
             m.cache = None

@@ -27,6 +27,7 @@ class ClusterCounters:
         "replicas_spawned",     # autoscaler scale-ups
         "replicas_retired",     # autoscaler drains completed
         "sla_rejections",       # arrivals shed by SLO admission control
+        "memory_rejections",    # arrivals shed by memory admission control
     )
 
     def __init__(self):

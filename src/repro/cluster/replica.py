@@ -134,6 +134,27 @@ class Replica:
             return manager.projected_queue_delay()
         return self.ewma_latency * self.outstanding()
 
+    def free_memory(self) -> float:
+        """Free device-memory bytes summed over the engine's alive workers.
+
+        Infinite for engines without a memory model (no ``MemorySpec`` —
+        the ``free_memory`` routing metric and memory admission are then
+        inert: every replica ties at infinity), zero for a memory-modelled
+        engine with no alive device.
+        """
+        manager = getattr(self.server, "manager", None)
+        if manager is None or getattr(manager, "memory_spec", None) is None:
+            return float("inf")
+        total = 0
+        for worker in manager.workers:
+            if not worker.alive:
+                continue
+            memory = worker.device.memory
+            if memory is None:
+                return float("inf")
+            total += memory.free()
+        return float(total)
+
     def predicted_delay(self) -> float:
         """Predicted seconds until a request newly routed here completes:
         the outstanding shadow count times the per-replica predictor's EWMA

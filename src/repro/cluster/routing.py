@@ -249,6 +249,39 @@ class PredictedDelayRouter(RoutingPolicy):
         return self._best(request, candidates, lambda r: r.predicted_delay())
 
 
+class MostFreeMemoryRouter(RoutingPolicy):
+    """Send to the replica with the most free device memory — the routing
+    arm of memory-aware serving (DESIGN.md §15).  A dynamic-decode request
+    holds hidden-state bytes for an unknown number of steps, so spreading
+    by free bytes (rather than in-flight count) keeps any one replica from
+    evicting while others have headroom.  Replicas without a memory model
+    report infinite free bytes: they all tie and the seeded tie-break
+    degrades this to uniform routing."""
+
+    name = "most_free_memory"
+    metric = "free_memory"
+
+    def choose(self, request, candidates):
+        # Same inlined clean-cache hit as LeastOutstandingRouter; the
+        # free-memory key is event-driven (never volatile), so the cache
+        # holds between reserve/release deltas.
+        self.decisions += 1
+        m = self._mindex
+        if m is not None:
+            tied = m.hot
+            if tied is not None and candidates is m.hot_pool:
+                self._stats.cached_queries += 1
+                if len(tied) == 1:
+                    return tied[0]
+                x = (self._tie_premix + request.request_id) & 0xFFFFFFFFFFFFFFFF
+                x ^= x >> 31
+                return tied[x % len(tied)]
+        return self._choose(request, candidates)
+
+    def _choose(self, request, candidates):
+        return self._best(request, candidates, lambda r: -r.free_memory())
+
+
 class LengthBucketedRouter(RoutingPolicy):
     """Send similar-length requests to the same replica.
 
@@ -278,6 +311,7 @@ ROUTERS: Dict[str, Type[RoutingPolicy]] = {
     LeastOutstandingRouter.name: LeastOutstandingRouter,
     ShortestQueueRouter.name: ShortestQueueRouter,
     PredictedDelayRouter.name: PredictedDelayRouter,
+    MostFreeMemoryRouter.name: MostFreeMemoryRouter,
     LengthBucketedRouter.name: LengthBucketedRouter,
 }
 

@@ -51,6 +51,11 @@ class BatchMakerServer(InferenceServer):
         Defaults to the paper's Algorithm 1 derived from ``config``; an
         explicit bundle takes precedence over ``config.pinning`` /
         ``config.fast_path``.
+    memory:
+        Optional :class:`~repro.gpu.MemorySpec`: per-device byte capacity,
+        weight residency and per-subgraph state footprint (DESIGN.md §15).
+        None (the default) keeps the time-only device model bit-identical
+        to the pre-memory engine.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class BatchMakerServer(InferenceServer):
         fault_plan=None,
         sla=None,
         policies=None,
+        memory=None,
     ):
         super().__init__(ensure_loop(loop), name)
         if cost_model is None:
@@ -84,6 +90,7 @@ class BatchMakerServer(InferenceServer):
             on_request_timed_out=self._request_timed_out,
             on_request_rejected=self._request_rejected,
             policies=policies,
+            memory=memory,
         )
         self.policies = self.manager.policies
         self._autotrace()

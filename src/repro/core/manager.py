@@ -37,6 +37,7 @@ from repro.faults.plan import FaultPlan, KERNEL_FAIL, STRAGGLER
 from repro.faults.sla import RetryPolicy, SLAConfig
 from repro.gpu.costmodel import CostModel
 from repro.gpu.device import make_devices
+from repro.gpu.memory import MemoryModel, MemorySpec
 from repro.metrics.counters import FaultCounters
 from repro.policies import PolicyBundle
 from repro.server import DeferredKick
@@ -64,6 +65,7 @@ class Manager:
         on_request_timed_out: Optional[Callable[[InferenceRequest], None]] = None,
         on_request_rejected: Optional[Callable[[InferenceRequest], None]] = None,
         policies: Optional[PolicyBundle] = None,
+        memory: Optional[MemorySpec] = None,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -97,6 +99,12 @@ class Manager:
         # task completed/failed/retried, device lost, cancellation.  None
         # for a standalone server (one attribute load per event).
         self.on_load_changed = None
+        # Memory budget (repro.gpu.memory); None keeps the time-only device
+        # model and skips every byte-accounting branch below.  A memory-aware
+        # formation policy may install itself as ``memory_admission`` from
+        # its attach_engine to shed arrivals at the front door.
+        self.memory_spec = memory
+        self.memory_admission = None
 
         self.policies = (
             policies if policies is not None else PolicyBundle.from_config(config)
@@ -130,6 +138,9 @@ class Manager:
             )
             for device in make_devices(loop, num_workers)
         ]
+        if self.memory_spec is not None:
+            for worker in self.workers:
+                worker.device.memory = MemoryModel.from_spec(self.memory_spec)
         # Tracing scope (repro.trace), pushed down by the owning server's
         # attach_trace; None = record nothing (the zero-cost default).
         self.trace = None
@@ -175,6 +186,11 @@ class Manager:
             reject_reason = "no_devices"
         elif self.sla is not None and self._should_shed(request):
             reject_reason = "load_shed"
+        elif (
+            self.memory_admission is not None
+            and self.memory_admission.should_shed(request)
+        ):
+            reject_reason = "memory_shed"
         if reject_reason is not None:
             request.mark_rejected(self.loop.now(), reason=reject_reason)
             self.fault_counters.requests_rejected += 1
@@ -246,6 +262,8 @@ class Manager:
 
     def _submit_task(self, task: BatchedTask, worker: Worker) -> None:
         extra = self._migration_cost(task, worker)
+        if self.memory_spec is not None:
+            self._reserve_for_task(task, worker)
         for subgraph, _ in task.entries:
             subgraph.request.mark_started(self.loop.now())
             subgraph.last_worker = worker.worker_id
@@ -267,6 +285,115 @@ class Manager:
         """Cross-device copy cost (placement policy) — zero under pinning,
         which is the point of pinning."""
         return self.policies.placement.migration_cost(task, worker)
+
+    # -- memory accounting (DESIGN.md §15) -----------------------------------
+
+    def _reserve_for_task(self, task: BatchedTask, worker: Worker) -> None:
+        """Reserve hidden-state bytes on ``worker`` for every subgraph the
+        task lands there (kick and retry paths both come through here).
+        A subgraph migrating between devices releases on the old one first;
+        a reservation the device refuses (it would overcommit — possible
+        when a memory-*oblivious* formation policy planned the batch)
+        OOM-cancels the owning request.  The kernel still runs: the abort
+        happens at launch, after the batch was formed."""
+        mem = worker.device.memory
+        if mem is None:
+            return
+        state_bytes = self.memory_spec.state_bytes
+        seen = set()
+        for sg, _ in task.entries:
+            if sg.subgraph_id in seen:
+                continue
+            seen.add(sg.subgraph_id)
+            request = sg.request
+            if request.terminal or sg.resident_on == worker.worker_id:
+                continue
+            if sg.resident_on is not None:
+                old_mem = self.workers[sg.resident_on].device.memory
+                if old_mem is not None:
+                    old_mem.release(request.request_id, sg.resident_bytes)
+                sg.resident_on = None
+                sg.resident_bytes = 0
+            if mem.reserve(request.request_id, state_bytes):
+                sg.resident_on = worker.worker_id
+                sg.resident_bytes = state_bytes
+            else:
+                self.fault_counters.oom_cancellations += 1
+                self._cancel_request(request, reason="oom")
+
+    def _release_memory(self, request: InferenceRequest) -> None:
+        """Free every device-state reservation the request holds (terminal
+        states and evict-and-restart); accounting telescopes to zero."""
+        if self.memory_spec is None:
+            return
+        for sg in request.subgraphs.values():
+            if sg.resident_on is not None:
+                mem = self.workers[sg.resident_on].device.memory
+                if mem is not None:
+                    mem.release(request.request_id, sg.resident_bytes)
+                sg.resident_on = None
+                sg.resident_bytes = 0
+
+    def _drop_residency(self, worker_id: int) -> None:
+        """A device is about to die: its MemoryModel resets wholesale, so
+        clear the per-subgraph residency markers pointing at it (otherwise a
+        later release would underflow against the reset model)."""
+        for request in self.processor.live_requests():
+            for sg in request.subgraphs.values():
+                if sg.resident_on == worker_id:
+                    sg.resident_on = None
+                    sg.resident_bytes = 0
+
+    def restart_request(self, request: InferenceRequest) -> bool:
+        """Evict-and-restart: preempt a non-terminal request under memory
+        pressure, releasing its device state and unwinding its queued
+        subgraphs, then resubmit it from scratch after the retry policy's
+        backoff.  The caller (the ``memory_aware`` formation policy)
+        guarantees no node is in flight; restarts beyond the retry budget
+        cancel terminally instead (``"oom"``).  Returns True when the
+        request was restarted, False when it was cancelled."""
+        if request.terminal:
+            return False
+        for sg in request.subgraphs.values():
+            if sg.inflight or sg.uncompleted != sg.unsubmitted:
+                raise ValueError(
+                    f"cannot restart request {request.request_id}: "
+                    f"subgraph {sg.subgraph_id} has nodes in flight"
+                )
+        retry = self.sla.retry if self.sla is not None else _DEFAULT_RETRY
+        if request.restarts >= retry.max_retries:
+            self.fault_counters.oom_cancellations += 1
+            self._cancel_request(request, reason="oom")
+            return False
+        request.restarts += 1
+        self.fault_counters.memory_evictions += 1
+        self.scheduler.evict_request(request)
+        self._release_memory(request)
+        self.processor.forget(request)
+        request.graph = None
+        request.subgraphs = {}
+        request.remaining_nodes = 0
+        if self.trace is not None:
+            self.trace.instant(
+                trace_events.REQUEST_RESTARTED,
+                trace_events.LIFECYCLE,
+                request_id=request.request_id,
+                args={"restarts": request.restarts},
+            )
+        delay = retry.backoff(request.restarts - 1)
+        self.loop.call_after(delay, lambda: self._resubmit_restarted(request))
+        self._notify_load()
+        return True
+
+    def _resubmit_restarted(self, request: InferenceRequest) -> None:
+        """Backoff elapsed: re-enter the restarted request (fresh unfold).
+        A deadline that fired during the backoff wins — the request is
+        already terminal and stays that way."""
+        if request.terminal:
+            return
+        self.processor.add_request(request)
+        self._poke.kick()
+        self._notify_load()
 
     # -- worker -> manager ---------------------------------------------------
 
@@ -304,6 +431,7 @@ class Manager:
     def _finished(self, request: InferenceRequest) -> None:
         request.mark_finished(self.loop.now())
         self._disarm_timeout(request)
+        self._release_memory(request)
         if self.predictor is not None:
             self.predictor.observe_request(
                 request.latency, request.queuing_time, request.computation_time
@@ -402,6 +530,16 @@ class Manager:
         # GPU than the one holding the subgraphs' live state.
         extra = self._migration_cost(task, target)
         self.policies.placement.on_retry(task, target)
+        if self.memory_spec is not None:
+            # The retry may land on a different device than the original
+            # kick reserved on; move the reservations along with the work.
+            self._reserve_for_task(task, target)
+            task.entries = [
+                (sg, node) for sg, node in task.entries
+                if not sg.request.terminal
+            ]
+            if not task.entries:
+                return
         for sg in task.subgraphs():
             sg.last_worker = target.worker_id
         self.scheduler.resubmit(task)
@@ -425,7 +563,12 @@ class Manager:
                 device_id=worker.worker_id,
             )
         # Failing the device fails its in-flight tasks (in submission
-        # order), which individually enter the retry path above.
+        # order), which individually enter the retry path above.  Residency
+        # markers pointing at it are cleared first: the MemoryModel resets
+        # wholesale with the device, so per-subgraph releases against it
+        # would underflow.
+        if self.memory_spec is not None:
+            self._drop_residency(worker.worker_id)
         worker.fail_device()
         self.policies.placement.on_device_failed(worker.worker_id)
         # Queued subgraphs pinned to the dead device migrate to the first
@@ -473,6 +616,7 @@ class Manager:
         request.mark_timed_out(self.loop.now(), reason=reason)
         self._disarm_timeout(request)
         self.scheduler.evict_request(request)
+        self._release_memory(request)
         self.processor.abandon(request)
         self.fault_counters.requests_timed_out += 1
         self.timed_out_requests.append(request)
@@ -485,6 +629,15 @@ class Manager:
             )
         if self._on_request_timed_out is not None:
             self._on_request_timed_out(request)
+        if self.memory_spec is not None:
+            # The freed state can make deferred members fit, and a
+            # cancellation may be the last event alive (the memory-aware
+            # formation triages dead-end members from within a dispatch
+            # round) — re-run the dispatch loop or the drain hangs with
+            # work still queued.  Without a memory model a cancellation
+            # never creates newly schedulable work, so the kick stays
+            # gated to keep the no-spec path bit-identical.
+            self._poke.kick()
         self._notify_load()
         return True
 

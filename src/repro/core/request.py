@@ -47,6 +47,7 @@ class InferenceRequest:
         self.terminal_time: Optional[float] = None  # when a terminal state hit
         self.cancel_reason: Optional[str] = None  # "deadline", "retries_exhausted", ...
         self.retries = 0                          # task retries touching this request
+        self.restarts = 0                         # evict-and-restart preemptions
         self._timeout_event = None                # loop Event handle, if armed
 
         # Completion bookkeeping maintained by the request processor.
@@ -58,7 +59,9 @@ class InferenceRequest:
     # -- lifecycle transitions (called by the engine) -----------------------
 
     def mark_started(self, now: float) -> None:
-        if self.start_time is None:
+        # A request OOM-cancelled at reservation time is still carried in
+        # the launching task's entries; starting must not resurrect it.
+        if self.start_time is None and self.state is RequestState.PENDING:
             self.start_time = now
             self.state = RequestState.RUNNING
 

@@ -96,6 +96,15 @@ class RequestProcessor:
         terminal requests, so nothing can resurrect or double-finish it."""
         self._live_requests.discard(request.request_id)
 
+    def forget(self, request: InferenceRequest) -> None:
+        """Drop a *non-terminal* request entirely so it can be re-added
+        (evict-and-restart under memory pressure).  Unlike :meth:`abandon`
+        the id becomes reusable; the caller guarantees the request has no
+        nodes in flight, so no stale completion can reference the old
+        graph."""
+        self._live_requests.discard(request.request_id)
+        self._requests.pop(request.request_id, None)
+
     def live_requests(self) -> List[InferenceRequest]:
         """Snapshot of not-yet-terminal tracked requests (id order)."""
         return [

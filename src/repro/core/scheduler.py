@@ -394,8 +394,10 @@ class Scheduler:
     # -- failure handling (DESIGN.md §8) -------------------------------------
 
     def evict_request(self, request) -> int:
-        """Unwind a cancelled request: drop every one of its subgraphs that
-        is still queued.  ``CellTypeQueue.remove`` gives the ready counter
+        """Unwind a cancelled *or preempted* request: drop every one of its
+        subgraphs that is still queued.  Terminal cancellation and the
+        memory layer's evict-and-restart (``Manager.restart_request``) both
+        come through here.  ``CellTypeQueue.remove`` gives the ready counter
         back and clears the owner, so the lazy heap entries left behind are
         recognised as stale and discarded on pop — the fast path stays
         bit-identical to a brute-force rescan.  The formation policy's

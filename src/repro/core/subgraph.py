@@ -87,6 +87,12 @@ class Subgraph:
         # Device the data of this subgraph currently lives on; used to model
         # the cross-GPU copy cost when pinning is disabled.
         self.last_worker: Optional[int] = None
+        # Memory residency (repro.gpu.memory): the device holding this
+        # subgraph's reserved hidden-state bytes, or None when nothing is
+        # reserved (no memory model, or released).  The manager keeps these
+        # in lockstep with the devices' MemoryModel accounting.
+        self.resident_on: Optional[int] = None
+        self.resident_bytes: int = 0
 
     # -- release bookkeeping (driven by the request processor) -------------
 

@@ -29,6 +29,7 @@ from repro.experiments import (
     fig15_fixed_tree,
     fig_cluster,
     fig_faults,
+    fig_memory,
     fig_slo,
     fig_trace,
     summary,
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Callable[..., dict]] = {
     "fig15": fig15_fixed_tree.main,
     "fig_cluster": fig_cluster.main,
     "fig_faults": fig_faults.main,
+    "fig_memory": fig_memory.main,
     "fig_slo": fig_slo.main,
     "fig_trace": fig_trace.main,
     "ablations": ablations.main,

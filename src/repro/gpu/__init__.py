@@ -24,6 +24,7 @@ from repro.gpu.costmodel import (
     v100_lstm_step_table,
 )
 from repro.gpu.device import DeviceTimeline, GPUDevice, make_devices
+from repro.gpu.memory import DEFAULT_STATE_BYTES, MemoryModel, MemorySpec
 from repro.gpu.kernel import Kernel, SignalKernel
 
 __all__ = [
@@ -32,6 +33,9 @@ __all__ = [
     "GPUDevice",
     "DeviceTimeline",
     "make_devices",
+    "MemoryModel",
+    "MemorySpec",
+    "DEFAULT_STATE_BYTES",
     "Kernel",
     "SignalKernel",
     "v100_lstm_step_table",

@@ -89,6 +89,9 @@ class GPUDevice:
         self._free_at = 0.0
         self._kernels_launched = 0
         self.alive = True
+        # Byte accounting (repro.gpu.memory.MemoryModel); None keeps the
+        # historical time-only device model.
+        self.memory = None
         # Signal events scheduled for not-yet-retired kernels; cancelled en
         # masse when the device dies (fired events are pruned lazily).
         self._pending_signals: List[Event] = []
@@ -137,6 +140,8 @@ class GPUDevice:
         self._pending_signals.clear()
         self.timeline.truncate(now)
         self._free_at = now
+        if self.memory is not None:
+            self.memory.reset()
         return cancelled
 
     def run_for(self, duration: float, on_complete=None, tag: Any = None) -> float:

@@ -1,0 +1,220 @@
+"""Device memory model: capacity, weight residency, per-request state.
+
+The paper keeps each request's hidden state resident on the GPU between
+cells; this module gives that state a *size*.  A :class:`MemoryModel`
+hangs off a :class:`~repro.gpu.device.GPUDevice` (``device.memory``,
+``None`` by default so the time-only model is untouched) and accounts
+three pools against a byte capacity:
+
+* **weights** — per-cell-type parameter residency, loaded once at server
+  construction and held for the device's lifetime;
+* **state** — per-request hidden/cell vectors, one reservation per live
+  subgraph resident on the device (dynamic decode grows one subgraph per
+  decode step, so the footprint grows with the output length);
+* **free** — what a kick may still claim.
+
+``reserve`` *refuses* (returns ``False``) rather than overcommits, so
+``reserved <= capacity`` holds by construction; callers decide whether a
+refusal means deferring, evicting a victim, or cancelling with an OOM.
+Releases are strict — freeing bytes that were never reserved raises —
+which is what lets the chaos suites assert that accounting telescopes to
+zero on every request's terminal state.
+
+:class:`MemorySpec` is the declarative, JSON-round-trippable description
+(`capacity`, per-subgraph `state_bytes`, per-cell-type `weights`, and the
+front-door `admission_free_bytes` shed threshold) carried on
+``ServerSpec``/``ClusterSpec``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Hidden + cell vector at h=1024 fp32 — the natural per-subgraph state
+#: footprint (mirrors ``PlacementPolicy.HIDDEN_STATE_BYTES``).
+DEFAULT_STATE_BYTES = 2 * 1024 * 4
+
+
+class MemorySpec:
+    """Declarative memory budget for a server (or a whole cluster).
+
+    Plain data, JSON round-trippable, hashable by value — the same
+    contract as ``SLAConfig``.  ``capacity`` is bytes per device;
+    ``state_bytes`` is the footprint of one resident subgraph's hidden
+    state; ``weights`` maps cell-type name -> resident parameter bytes
+    (deducted up front on every device); ``admission_free_bytes``, when
+    set, sheds arrivals at the front door while every candidate device
+    has less free memory than the threshold.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        state_bytes: int = DEFAULT_STATE_BYTES,
+        weights: Optional[Dict[str, int]] = None,
+        admission_free_bytes: Optional[int] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if state_bytes <= 0:
+            raise ValueError("state_bytes must be positive")
+        self.capacity = int(capacity)
+        self.state_bytes = int(state_bytes)
+        self.weights = dict(weights) if weights else {}
+        for cell, nbytes in self.weights.items():
+            if nbytes < 0:
+                raise ValueError(f"negative weight bytes for {cell!r}")
+        self.admission_free_bytes = (
+            None if admission_free_bytes is None else int(admission_free_bytes)
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out: dict = {"capacity": self.capacity, "state_bytes": self.state_bytes}
+        if self.weights:
+            out["weights"] = dict(self.weights)
+        if self.admission_free_bytes is not None:
+            out["admission_free_bytes"] = self.admission_free_bytes
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemorySpec":
+        return cls(
+            capacity=data["capacity"],
+            state_bytes=data.get("state_bytes", DEFAULT_STATE_BYTES),
+            weights=data.get("weights"),
+            admission_free_bytes=data.get("admission_free_bytes"),
+        )
+
+    def replace(self, **changes) -> "MemorySpec":
+        data = self.to_dict()
+        data.update({k: v for k, v in changes.items() if v is not None})
+        for key, value in changes.items():
+            if value is None:
+                data.pop(key, None)
+        return MemorySpec.from_dict(data)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MemorySpec) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"MemorySpec(capacity={self.capacity}, "
+            f"state_bytes={self.state_bytes}, weights={self.weights!r}, "
+            f"admission_free_bytes={self.admission_free_bytes!r})"
+        )
+
+
+class MemoryModel:
+    """Byte accounting for one device: weights + per-request state.
+
+    ``reserve`` never overcommits — it returns ``False`` when the claim
+    would push ``reserved`` past ``capacity`` and the caller chooses the
+    pressure response.  ``release`` is strict (underflow raises) so a
+    leaked or double-freed reservation is caught at the fault site, not
+    at drain.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.weight_bytes = 0
+        self.weights: Dict[str, int] = {}
+        self.state_reserved = 0
+        self.peak_reserved = 0
+        self._per_request: Dict[int, int] = {}
+
+    @classmethod
+    def from_spec(cls, spec: MemorySpec) -> "MemoryModel":
+        model = cls(spec.capacity)
+        for cell, nbytes in spec.weights.items():
+            model.load_weights(cell, nbytes)
+        return model
+
+    # -- weights -----------------------------------------------------------
+
+    def load_weights(self, cell_type: str, nbytes: int) -> None:
+        """Make ``cell_type``'s parameters resident for the device's
+        lifetime.  A budget too small for the weights is a config error,
+        not back-pressure, so overflow raises."""
+        if nbytes < 0:
+            raise ValueError("weight bytes must be non-negative")
+        prev = self.weights.get(cell_type, 0)
+        new_total = self.weight_bytes - prev + nbytes
+        if new_total + self.state_reserved > self.capacity:
+            raise ValueError(
+                f"weights for {cell_type!r} ({nbytes} B) do not fit: "
+                f"{new_total + self.state_reserved} > capacity {self.capacity}"
+            )
+        self.weights[cell_type] = nbytes
+        self.weight_bytes = new_total
+        self.peak_reserved = max(self.peak_reserved, self.reserved)
+
+    # -- per-request state -------------------------------------------------
+
+    def reserve(self, request_id: int, nbytes: int) -> bool:
+        """Claim ``nbytes`` of state for ``request_id``; refuses (returns
+        ``False``, no partial effect) when the claim would overcommit."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.reserved + nbytes > self.capacity:
+            return False
+        self.state_reserved += nbytes
+        self._per_request[request_id] = self._per_request.get(request_id, 0) + nbytes
+        self.peak_reserved = max(self.peak_reserved, self.reserved)
+        return True
+
+    def release(self, request_id: int, nbytes: int) -> None:
+        """Return ``nbytes`` of ``request_id``'s state; strict."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        held = self._per_request.get(request_id, 0)
+        if nbytes > held:
+            raise ValueError(
+                f"release underflow for request {request_id}: "
+                f"{nbytes} > {held} reserved"
+            )
+        if nbytes == held:
+            self._per_request.pop(request_id, None)
+        else:
+            self._per_request[request_id] = held - nbytes
+        self.state_reserved -= nbytes
+
+    def release_request(self, request_id: int) -> int:
+        """Free everything ``request_id`` holds (terminal states, eviction);
+        returns the bytes freed.  A request with no reservation frees 0."""
+        held = self._per_request.pop(request_id, 0)
+        self.state_reserved -= held
+        return held
+
+    def holds(self, request_id: int) -> int:
+        return self._per_request.get(request_id, 0)
+
+    def reset(self) -> None:
+        """Device death: all resident state is gone (weights included —
+        the device can never serve again)."""
+        self.state_reserved = 0
+        self._per_request.clear()
+        self.weight_bytes = 0
+        self.weights.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def reserved(self) -> int:
+        return self.weight_bytes + self.state_reserved
+
+    def free(self) -> int:
+        return self.capacity - self.reserved
+
+    def live_requests(self) -> int:
+        return len(self._per_request)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryModel {self.reserved}/{self.capacity} B reserved "
+            f"({self.weight_bytes} weights, {self.state_reserved} state, "
+            f"{len(self._per_request)} requests)>"
+        )

@@ -23,6 +23,8 @@ class FaultCounters:
         "requests_timed_out",         # terminal: deadline or retries exhausted
         "requests_rejected",          # terminal: shed at admission
         "requests_completed",         # terminal: finished normally
+        "memory_evictions",           # evict-and-restart preemptions
+        "oom_cancellations",          # terminal: a reservation overcommitted
     )
 
     def __init__(self):

@@ -43,12 +43,23 @@ GO_TOKEN = 1
 EOS_TOKEN = 2
 
 
-def _normalize_payload(payload: Any) -> Dict[str, Any]:
+def _normalize_payload(
+    payload: Any,
+    dynamic_default: bool = False,
+    max_decode_default: Optional[int] = None,
+) -> Dict[str, Any]:
     """Canonicalise a Seq2Seq payload.
 
     Accepted forms: ``{"src": [...], "tgt_len": n}`` (static),
     ``{"src": [...], "dynamic": True, "max_decode": n}`` (dynamic), or the
     shorthand ``(src_len, tgt_len)`` tuple for simulation-only workloads.
+
+    ``dynamic_default``/``max_decode_default`` are the model's constructor
+    knobs (``Seq2SeqModel(dynamic=True, max_decode=N)``): a payload that
+    does not say otherwise inherits them, which is how the registry turns a
+    plain static-looking dataset into a dynamic-decode workload.  A
+    dynamic payload's decode budget resolves as: its own ``max_decode``,
+    else the model default, else its ``tgt_len``, else ``len(src) + 10``.
     """
     if isinstance(payload, tuple) and len(payload) == 2:
         src_len, tgt_len = payload
@@ -59,9 +70,18 @@ def _normalize_payload(payload: Any) -> Dict[str, Any]:
     src_tokens = [0] * int(src) if isinstance(src, (int, np.integer)) else [int(t) for t in src]
     if not src_tokens:
         raise ValueError("empty source sequence")
-    norm = {"src": src_tokens, "dynamic": bool(payload.get("dynamic", False))}
+    norm = {"src": src_tokens, "dynamic": bool(payload.get("dynamic", dynamic_default))}
     if norm["dynamic"]:
-        norm["max_decode"] = int(payload.get("max_decode", len(src_tokens) + 10))
+        max_decode = payload.get("max_decode")
+        if max_decode is None:
+            max_decode = max_decode_default
+        if max_decode is None:
+            max_decode = payload.get("tgt_len")
+        if max_decode is None:
+            max_decode = len(src_tokens) + 10
+        norm["max_decode"] = int(max_decode)
+        if norm["max_decode"] < 1:
+            raise ValueError("max_decode must be >= 1")
     else:
         if "tgt_len" not in payload:
             raise ValueError("static Seq2Seq payload needs 'tgt_len'")
@@ -82,6 +102,8 @@ class Seq2SeqModel(Model):
         embed_dim: Optional[int] = None,
         real: bool = False,
         seed: int = 0,
+        dynamic: bool = False,
+        max_decode: Optional[int] = None,
     ):
         self.name = "seq2seq"
         self.hidden_dim = hidden_dim
@@ -89,6 +111,11 @@ class Seq2SeqModel(Model):
         self.tgt_vocab_size = tgt_vocab_size
         self.embed_dim = embed_dim if embed_dim is not None else hidden_dim
         self.real = real
+        # Default decode mode for payloads that don't choose one themselves;
+        # the registry sets these via model_args to build a dynamic-decode
+        # server from an ordinary (src, tgt_len) dataset.
+        self.dynamic = dynamic
+        self.max_decode = max_decode
         self.params = ParameterStore(seed=seed)
 
         if real:
@@ -166,7 +193,7 @@ class Seq2SeqModel(Model):
         return [self._encoder_type, self._decoder_type]
 
     def unfold(self, graph: CellGraph, payload: Any) -> None:
-        spec = _normalize_payload(payload)
+        spec = self._normalize(payload)
         zeros = self._zero_state_row()
         prev = None
         for token in spec["src"]:
@@ -205,7 +232,7 @@ class Seq2SeqModel(Model):
     def extend(
         self, graph: CellGraph, completed: CellNode, payload: Any
     ) -> List[CellNode]:
-        spec = _normalize_payload(payload)
+        spec = self._normalize(payload)
         if not spec["dynamic"] or completed.cell_type.name != DECODER_CELL:
             return []
         # Stop once <eos> was emitted or the decode budget is exhausted.
@@ -228,7 +255,7 @@ class Seq2SeqModel(Model):
         return [node]
 
     def phases(self, payload: Any) -> List[Tuple[str, int]]:
-        spec = _normalize_payload(payload)
+        spec = self._normalize(payload)
         if spec["dynamic"]:
             raise NotImplementedError(
                 "padding baselines cannot serve dynamic-length decoding"
@@ -244,7 +271,7 @@ class Seq2SeqModel(Model):
     def reference_forward(self, payload: Any) -> Optional[List[Any]]:
         if not self.real:
             return None
-        spec = _normalize_payload(payload)
+        spec = self._normalize(payload)
         enc_embed, enc_lstm = self._enc_cells
         dec_embed, dec_lstm, dec_proj = self._dec_cells
         h = np.zeros((1, self.hidden_dim), dtype=np.float32)
@@ -268,6 +295,9 @@ class Seq2SeqModel(Model):
         return tokens
 
     # -- internals --------------------------------------------------------------
+
+    def _normalize(self, payload: Any) -> Dict[str, Any]:
+        return _normalize_payload(payload, self.dynamic, self.max_decode)
 
     def _zero_state_row(self):
         if self.real:

@@ -1,7 +1,6 @@
 """Charting: the :class:`Chart` core (series + axes -> SVG) plus the
 figure-shaped builders (``sweep_chart`` / ``cdf_chart`` / ``timeline_chart``)
-the experiment harness renders with.  (``repro.plot.charts`` is a
-backwards-compatible alias of this module.)"""
+the experiment harness renders with."""
 
 from __future__ import annotations
 

@@ -36,6 +36,7 @@ from repro.policies.defaults import (
     PaperQueuePriority,
     PinnedPlacement,
 )
+from repro.policies.memory import MemoryAwareFormation
 from repro.policies.predict import LatencyPredictor
 from repro.policies.slo import LazyKickPolicy
 from repro.policies.variants import (
@@ -62,6 +63,7 @@ FORMATION_POLICIES = {
     "paper": PaperBatchFormation,
     "no_mix": NoMixFormation,
     "lazy_kick": LazyKickPolicy,
+    "memory_aware": MemoryAwareFormation,
 }
 
 
@@ -83,7 +85,7 @@ def make_formation(name: str, fast_path: bool = True) -> BatchFormationPolicy:
             f"unknown batch-formation policy {name!r} "
             f"(have: {sorted(FORMATION_POLICIES)})"
         )
-    if cls in (PaperBatchFormation, LazyKickPolicy):
+    if cls in (PaperBatchFormation, LazyKickPolicy, MemoryAwareFormation):
         return cls(fast_path=fast_path)
     return cls()
 
@@ -136,6 +138,7 @@ __all__ = [
     "FixedPlacement",
     "NoMixFormation",
     "LazyKickPolicy",
+    "MemoryAwareFormation",
     "LatencyPredictor",
     "PRIORITY_POLICIES",
     "PLACEMENT_POLICIES",

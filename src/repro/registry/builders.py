@@ -32,12 +32,17 @@ def build_server(
 
     ``runtime`` carries non-serialisable per-run objects; which keys are
     accepted depends on the kind (``cost_model`` / ``real_compute`` /
-    ``fault_plan`` / ``sla`` / ``policies`` for batchmaker — an explicit
-    ``policies`` bundle overrides the spec's policy names).
+    ``fault_plan`` / ``sla`` / ``memory`` / ``policies`` for batchmaker —
+    an explicit ``policies`` bundle overrides the spec's policy names).
     """
     builder = _BUILDERS.get(spec.kind)
     if builder is None:  # unreachable: ServerSpec validates kind
         raise ValueError(f"unknown server kind {spec.kind!r}")
+    if spec.memory is not None and spec.kind != "batchmaker":
+        raise ValueError(
+            f"memory specs require the batchmaker engine, not {spec.kind!r}: "
+            "the graph-batching baselines have no per-subgraph state to account"
+        )
     server = builder(spec, loop, runtime)
     if runtime:
         raise TypeError(
@@ -66,6 +71,11 @@ def _build_batchmaker(spec, loop, runtime):
         from repro.faults.sla import SLAConfig
 
         sla = SLAConfig.from_dict(spec.sla)
+    memory = runtime.pop("memory", None)
+    if memory is None and spec.memory:
+        from repro.gpu.memory import MemorySpec
+
+        memory = MemorySpec.from_dict(spec.memory)
     return BatchMakerServer(
         make_model(spec.model, **spec.model_args),
         config=config,
@@ -76,6 +86,7 @@ def _build_batchmaker(spec, loop, runtime):
         real_compute=runtime.pop("real_compute", False),
         fault_plan=runtime.pop("fault_plan", None),
         sla=sla,
+        memory=memory,
         **_named(spec),
     )
 

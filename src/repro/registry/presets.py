@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.config import BatchingConfig
+from repro.gpu.memory import DEFAULT_STATE_BYTES, MemorySpec
 from repro.registry.specs import ClusterSpec, ServerSpec
 
 # Per-batch fixed overheads for the two padding baselines: in the paper's
@@ -79,6 +80,75 @@ def seq2seq_batchmaker_spec(
         name=f"BatchMaker-{encoder_batch},{decoder_batch}",
         config=config.to_dict(),
         policies=policies,
+    )
+
+
+def seq2seq_memory_spec(
+    capacity_requests: int = 48,
+    admission_free_requests: Optional[int] = None,
+) -> MemorySpec:
+    """A per-device byte budget sized in units of live request states.
+
+    Capacity holds the encoder+decoder weights plus ``capacity_requests``
+    hidden-state footprints; ``admission_free_requests`` (optional) arms
+    front-door shedding once free memory drops below that many states.
+    """
+    weights = {"encoder": 16 * DEFAULT_STATE_BYTES, "decoder": 24 * DEFAULT_STATE_BYTES}
+    return MemorySpec(
+        capacity=sum(weights.values()) + capacity_requests * DEFAULT_STATE_BYTES,
+        state_bytes=DEFAULT_STATE_BYTES,
+        weights=weights,
+        admission_free_bytes=(
+            admission_free_requests * DEFAULT_STATE_BYTES
+            if admission_free_requests is not None
+            else None
+        ),
+    )
+
+
+def seq2seq_dynamic_spec(
+    encoder_batch: int = 512,
+    decoder_batch: int = 256,
+    num_gpus: int = 2,
+    capacity_requests: Optional[int] = 48,
+    admission_free_requests: Optional[int] = None,
+    memory_aware: bool = True,
+    max_decode: Optional[int] = None,
+) -> ServerSpec:
+    """Feed-previous Seq2Seq whose decode length is discovered one step at
+    a time — the continuous-batching workload of DESIGN.md §15.
+
+    The model's ``dynamic`` knob makes every payload grow its decoder
+    incrementally (``extend()``), so per-request device state accretes for
+    an unknown number of steps.  ``capacity_requests`` sizes a per-device
+    memory budget in units of live hidden states (None drops the budget —
+    the historical time-only device model); ``memory_aware=False`` keeps
+    the budget but serves it with the oblivious paper formation, the
+    overcommitting baseline fig_memory contrasts against.
+    """
+    config = BatchingConfig.with_max_batch(
+        encoder_batch,
+        per_cell_max={"decoder": decoder_batch},
+        per_cell_priority={"decoder": 1, "encoder": 0},
+    )
+    model_args: Dict = {"dynamic": True}
+    if max_decode is not None:
+        model_args["max_decode"] = max_decode
+    memory = (
+        seq2seq_memory_spec(capacity_requests, admission_free_requests).to_dict()
+        if capacity_requests is not None
+        else None
+    )
+    label = "aware" if memory_aware else "oblivious"
+    return ServerSpec(
+        kind="batchmaker",
+        model="seq2seq",
+        model_args=model_args,
+        num_gpus=num_gpus,
+        name=f"BatchMaker-dynamic ({label})",
+        config=config.to_dict(),
+        policies={"formation": "memory_aware"} if memory_aware else None,
+        memory=memory,
     )
 
 
@@ -205,6 +275,27 @@ def seq2seq_cluster_spec(
     )
 
 
+def seq2seq_dynamic_cluster_spec(
+    num_replicas: int = 2,
+    router: str = "most_free_memory",
+    seed: int = 0,
+    capacity_requests: int = 48,
+    admission_free_requests: Optional[int] = 2,
+) -> ClusterSpec:
+    """Dynamic-decode Seq2Seq replicas routed by free device memory, with
+    front-door memory admission (``"memory_reject"``)."""
+    return ClusterSpec(
+        replica=seq2seq_dynamic_spec(capacity_requests=capacity_requests),
+        num_replicas=num_replicas,
+        router=router,
+        seed=seed,
+        memory=seq2seq_memory_spec(
+            capacity_requests, admission_free_requests
+        ).to_dict(),
+        name=f"BatchMaker-dynamic x{num_replicas} ({router})",
+    )
+
+
 def all_cluster_specs() -> Dict[str, ClusterSpec]:
     """Every cluster configuration the fig_cluster experiment evaluates."""
     specs: Dict[str, ClusterSpec] = {}
@@ -216,6 +307,7 @@ def all_cluster_specs() -> Dict[str, ClusterSpec]:
     ):
         specs[f"cluster_lstm_{router}"] = lstm_cluster_spec(router=router)
     specs["cluster_seq2seq"] = seq2seq_cluster_spec()
+    specs["cluster_seq2seq_dynamic"] = seq2seq_dynamic_cluster_spec()
     return specs
 
 
@@ -233,4 +325,6 @@ def all_fig_specs() -> Dict[str, ServerSpec]:
         "fig14_tf_fold": tree_tensorflow_fold_spec(),
         "fig15_ideal": fixed_tree_ideal_spec(),
         "timeout_ablation_mxnet": timeout_padded_spec(),
+        "fig_memory_aware": seq2seq_dynamic_spec(),
+        "fig_memory_oblivious": seq2seq_dynamic_spec(memory_aware=False),
     }

@@ -50,6 +50,13 @@ class ServerSpec:
         shedding, retry and lazy-kick knobs (see :mod:`repro.faults.sla`);
         None means no SLA — the bit-identity-guaranteed path.  A runtime
         ``sla=`` override passed to ``build_server`` wins over this field.
+    memory:
+        ``MemorySpec.to_dict()`` form (batchmaker only): per-device byte
+        capacity, weight residency and per-request state footprint (see
+        :mod:`repro.gpu.memory`); None means the historical time-only
+        device model — the bit-identity-guaranteed path.  A runtime
+        ``memory=`` override passed to ``build_server`` wins over this
+        field.
     """
 
     def __init__(
@@ -63,6 +70,7 @@ class ServerSpec:
         policies: Optional[Dict[str, str]] = None,
         params: Optional[Dict[str, Any]] = None,
         sla: Optional[Dict[str, Any]] = None,
+        memory: Optional[Dict[str, Any]] = None,
     ):
         if kind not in KINDS:
             raise ValueError(f"unknown server kind {kind!r} (have: {KINDS})")
@@ -77,6 +85,7 @@ class ServerSpec:
         self.policies = dict(policies or {})
         self.params = dict(params or {})
         self.sla = dict(sla) if sla is not None else None
+        self.memory = dict(memory) if memory is not None else None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -89,6 +98,7 @@ class ServerSpec:
             "policies": dict(self.policies),
             "params": dict(self.params),
             "sla": dict(self.sla) if self.sla is not None else None,
+            "memory": dict(self.memory) if self.memory is not None else None,
         }
 
     @classmethod
@@ -103,6 +113,7 @@ class ServerSpec:
             policies=data.get("policies"),
             params=data.get("params"),
             sla=data.get("sla"),
+            memory=data.get("memory"),
         )
 
     def replace(self, **changes: Any) -> "ServerSpec":
@@ -157,6 +168,13 @@ class ClusterSpec:
         their deadline (``default_deadline``) or whose best predicted wait
         exceeds ``max_queue_delay``.  Independent of the replica spec's
         own ``sla``; None disables admission control entirely.
+    memory:
+        ``MemorySpec.to_dict()`` form for the *front door*: when its
+        ``admission_free_bytes`` is set, arrivals are rejected while no
+        alive replica reports at least that much free device memory
+        (``"memory_reject"``).  Routing by free memory additionally needs
+        the replica spec itself to carry a ``memory`` field — without one
+        every replica reports infinite free bytes and this is inert.
     """
 
     def __init__(
@@ -169,6 +187,7 @@ class ClusterSpec:
         autoscaler: Optional[Dict[str, Any]] = None,
         name: Optional[str] = None,
         sla: Optional[Dict[str, Any]] = None,
+        memory: Optional[Dict[str, Any]] = None,
     ):
         if not isinstance(replica, ServerSpec):
             raise TypeError(f"replica must be a ServerSpec, got {type(replica)!r}")
@@ -182,6 +201,7 @@ class ClusterSpec:
         self.autoscaler = dict(autoscaler) if autoscaler is not None else None
         self.name = name
         self.sla = dict(sla) if sla is not None else None
+        self.memory = dict(memory) if memory is not None else None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -193,6 +213,7 @@ class ClusterSpec:
             "autoscaler": dict(self.autoscaler) if self.autoscaler is not None else None,
             "name": self.name,
             "sla": dict(self.sla) if self.sla is not None else None,
+            "memory": dict(self.memory) if self.memory is not None else None,
         }
 
     @classmethod
@@ -206,6 +227,7 @@ class ClusterSpec:
             autoscaler=data.get("autoscaler"),
             name=data.get("name"),
             sla=data.get("sla"),
+            memory=data.get("memory"),
         )
 
     def replace(self, **changes: Any) -> "ClusterSpec":

@@ -44,6 +44,7 @@ REQUEST_ARRIVAL = "request.arrival"
 REQUEST_FINISHED = "request.finished"
 REQUEST_TIMED_OUT = "request.timed_out"
 REQUEST_REJECTED = "request.rejected"
+REQUEST_RESTARTED = "request.restarted"  # evict-and-restart preemption
 TASK = "task"                      # span: one batched task execution
 BATCH = "batch"                    # span: one fused graph-batching batch
 TASK_DEVICE_LOST = "task.device_lost"

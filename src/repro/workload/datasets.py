@@ -66,17 +66,31 @@ class Seq2SeqDataset:
     payload because the paper "decode[s] for a number of steps equal to the
     corresponding English sequence length" while never using that knowledge
     for scheduling.
+
+    With ``dynamic=True`` the payload instead requests feed-previous
+    decoding with the sampled target length as the decode *budget*
+    (``max_decode``): the graph grows one decoder step at a time and the
+    scheduler cannot know the final length up front — the continuous
+    batching workload of DESIGN.md §15.
     """
 
-    def __init__(self, seed: int = 0, max_length: int = WMTLengthSampler.HARD_MAX):
+    def __init__(
+        self,
+        seed: int = 0,
+        max_length: int = WMTLengthSampler.HARD_MAX,
+        dynamic: bool = False,
+    ):
         self._lengths = WMTLengthSampler(seed=seed, max_length=max_length)
         self._rng = np.random.default_rng(seed + 1)
         self.max_length = max_length
+        self.dynamic = dynamic
 
     def sample_one(self) -> dict:
         src_len = self._lengths.sample_one()
         ratio = float(np.clip(self._rng.normal(1.0, 0.15), 0.6, 1.6))
         tgt_len = int(np.clip(round(src_len * ratio), 1, self.max_length))
+        if self.dynamic:
+            return {"src": src_len, "dynamic": True, "max_decode": tgt_len}
         return {"src": src_len, "tgt_len": tgt_len}
 
 

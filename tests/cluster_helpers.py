@@ -110,6 +110,7 @@ def assert_cluster_invariants(cluster: ClusterServer, submitted: List) -> None:
         counters.cluster_rejections
         + counters.requests_lost
         + counters.sla_rejections
+        + counters.memory_rejections
     )
     assert total_routed + front_end_rejections >= len(submitted), (
         "some requests neither routed nor rejected"
