@@ -28,6 +28,11 @@ Measurements:
   formation), active with a roomy budget (the fit filter runs and keeps
   everything), and active under pressure (every member defers).
 
+* **Serving front end** (:mod:`repro.bench.serve`): submit-path cost
+  through ``ServeApp.submit_payload``, engine-outcome -> store sync cost
+  per terminal, and end-to-end requests/sec through the live HTTP/1.1
+  socket path.
+
 * **Quick Fig-7 sweep wall-clock**, serial vs ``--jobs``-parallel, with an
   identical-summaries cross-check (the parallel runner must change nothing
   but the wall-clock).
@@ -49,7 +54,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA = 7
+BENCH_SCHEMA = 8
 DEFAULT_DEPTHS = (250, 1000, 4000)
 SMOKE_DEPTHS = (250, 1000)
 # Policy bundles timed by bench_policy_overhead: decision rate of the
@@ -641,6 +646,7 @@ BENCH_SECTIONS = (
     "memory",
     "cluster",
     "trace",
+    "serve",
     "sustained",
     "fig7",
 )
@@ -695,6 +701,13 @@ def run_engine_bench(
         bench["trace"] = bench_trace(
             record_events=50_000 if smoke else 200_000,
             num_requests=300 if smoke else 800,
+        )
+    if wanted("serve"):
+        from repro.bench.serve import bench_serve
+
+        bench["serve"] = bench_serve(
+            submit_requests=500 if smoke else 2000,
+            http_requests=300 if smoke else 1000,
         )
     # The sustained sweep is the expensive section (~30s at 10^6 x 4
     # policies); smoke mode skips it unless named via --only.
@@ -782,6 +795,20 @@ def check_regression(current: Dict, baseline_path: str) -> List[str]:
                 f"sustained {name}: {cur_rate:,.0f} requests/s is more than "
                 f"{REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
             )
+    base_serve = baseline.get("serve", {})
+    cur_serve = current.get("serve", {})
+    for section, rate_key in (
+        ("submit", "submits_per_sec"),
+        ("sync", "outcomes_per_sec"),
+        ("http", "requests_per_sec"),
+    ):
+        base_rate = base_serve.get(section, {}).get(rate_key)
+        cur_rate = cur_serve.get(section, {}).get(rate_key)
+        if base_rate and cur_rate and cur_rate < base_rate / REGRESSION_FACTOR:
+            failures.append(
+                f"serve {section}: {cur_rate:,.0f} {rate_key} is more than "
+                f"{REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
+            )
     base_trace = baseline.get("trace", {}).get("events_per_sec")
     cur_trace = current.get("trace", {}).get("events_per_sec")
     if base_trace and cur_trace and cur_trace < base_trace / REGRESSION_FACTOR:
@@ -865,6 +892,15 @@ def _print_report(bench: Dict) -> None:
             f"trace: {trace['events_per_sec']:,.0f} events/s recorded "
             f"({trace['us_per_event']:.2f} us/event), traced run "
             f"{trace['slowdown_pct']:+.1f}% vs untraced"
+        )
+    serve = bench.get("serve", {})
+    if serve:
+        submit, sync, http = serve["submit"], serve["sync"], serve["http"]
+        print(
+            f"serve: submit {submit['us_per_submit']:.1f} us/req, sync "
+            f"{sync['us_per_outcome']:.1f} us/outcome, http "
+            f"{http['requests_per_sec']:,.0f} req/s end-to-end "
+            f"(p50 {http['p50_ms']:.2f} ms, p99 {http['p99_ms']:.2f} ms)"
         )
     fig7 = bench.get("fig7_quick")
     if fig7:

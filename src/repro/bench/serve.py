@@ -1,0 +1,132 @@
+"""Serving front-end overhead benchmarks (:mod:`repro.serve`).
+
+Three prices, measured separately so a regression names its layer:
+
+* ``submit`` — :meth:`ServeApp.submit_payload` driven directly (no
+  sockets): journalling to the store, engine submit, and the inline
+  arrival pump.  This is the per-request cost the front end adds on the
+  submit path before any network byte moves.
+* ``sync`` — the engine-outcome -> store-record fold
+  (:meth:`ServeApp.sync`, run after every timer pump): seconds of sync
+  per terminal outcome.  This is the "complete -> status visible" price.
+* ``http`` — requests/sec through the full socket path: a live threaded
+  server plus the keep-alive loadgen client with all arrival delays
+  collapsed (``time_scale=0``), i.e. the closed-loop throughput ceiling
+  of the hand-rolled HTTP/1.1 layer on this host.
+
+All three run the in-memory store (journal I/O is priced by the store
+tests, not here) and report rates the 2x regression gate in
+:mod:`repro.bench.engine` checks against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+SUBMIT_PAYLOAD = 8  # short chains: the engine cost stays off the books
+
+
+def _drain(app, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while app.store.terminal_count() < len(app.store) and time.monotonic() < deadline:
+        app.live.pump_now()
+        time.sleep(0.0005)
+
+
+def bench_submit(num_requests: int = 2000) -> Dict:
+    """us per submit through the transport-independent front-end path."""
+    from repro.registry.presets import lstm_serve_spec
+    from repro.serve.frontend import ServeApp
+
+    app = ServeApp(lstm_serve_spec(port=0))
+    start = time.perf_counter()
+    for _ in range(num_requests):
+        app.submit_payload(SUBMIT_PAYLOAD)
+    elapsed = time.perf_counter() - start
+    _drain(app)
+    rate = num_requests / elapsed if elapsed > 0 else 0.0
+    return {
+        "requests": num_requests,
+        "seconds": elapsed,
+        "submits_per_sec": rate,
+        "us_per_submit": 1e6 / rate if rate > 0 else None,
+    }
+
+
+def bench_sync(num_requests: int = 2000) -> Dict:
+    """us of sync work per terminal outcome (complete -> status visible)."""
+    from repro.registry.presets import lstm_serve_spec
+    from repro.serve.frontend import ServeApp
+
+    app = ServeApp(lstm_serve_spec(port=0))
+    sync_seconds = 0.0
+    inner = app.sync
+
+    def timed_sync() -> int:
+        nonlocal sync_seconds
+        start = time.perf_counter()
+        moved = inner()
+        sync_seconds += time.perf_counter() - start
+        return moved
+
+    app.sync = timed_sync
+    for _ in range(num_requests):
+        app.submit_payload(SUBMIT_PAYLOAD)
+    _drain(app)
+    outcomes = app.store.terminal_count()
+    rate = outcomes / sync_seconds if sync_seconds > 0 else 0.0
+    return {
+        "outcomes": outcomes,
+        "sync_seconds": sync_seconds,
+        "outcomes_per_sec": rate,
+        "us_per_outcome": 1e6 / rate if rate > 0 else None,
+    }
+
+
+def bench_http(num_requests: int = 1000, concurrency: int = 16) -> Dict:
+    """Requests/sec through the live socket path, submit to terminal."""
+    import asyncio
+
+    from repro.registry.presets import lstm_serve_spec
+    from repro.serve.frontend import start_in_thread
+    from repro.serve.loadgen import run_loadgen
+
+    handle = start_in_thread(lstm_serve_spec(port=0))
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                "127.0.0.1",
+                handle.port,
+                rate=1e9,  # the plan's offsets, collapsed by time_scale=0
+                num_requests=num_requests,
+                concurrency=concurrency,
+                time_scale=0.0,
+                dataset="fixed",
+            )
+        )
+    finally:
+        handle.stop()
+    rate = (
+        num_requests / report.wall_seconds if report.wall_seconds > 0 else 0.0
+    )
+    return {
+        "requests": num_requests,
+        "concurrency": concurrency,
+        "seconds": report.wall_seconds,
+        "requests_per_sec": rate,
+        "completed": len(report.records),
+        "p50_ms": report.percentile_ms(50),
+        "p99_ms": report.percentile_ms(99),
+    }
+
+
+def bench_serve(
+    submit_requests: int = 2000,
+    http_requests: int = 1000,
+) -> Dict[str, Dict]:
+    return {
+        "submit": bench_submit(submit_requests),
+        "sync": bench_sync(submit_requests),
+        "http": bench_http(http_requests),
+    }

@@ -649,6 +649,21 @@ class Manager:
 
     # -- idle-driven scheduling ------------------------------------------------
 
+    def wake(self) -> None:
+        """External wake hook: re-arm the coalesced dispatch kick.
+
+        The engine normally kicks itself on every arrival/completion; a
+        live front end (:mod:`repro.serve`) calls this after out-of-band
+        state changes — shutdown drains and journal-replay resumes — so
+        any formable work dispatches on the next timestamp without
+        waiting for the next natural engine event.
+        """
+        self._poke.kick()
+
+    def outstanding(self) -> int:
+        """Requests accepted but not yet terminal (live drain progress)."""
+        return self.processor.live_request_count()
+
     def _poke_idle_workers(self) -> None:
         for worker in self.workers:
             if worker.alive and worker.is_idle():

@@ -16,12 +16,13 @@ with one path:
 
 from repro.registry.builders import build_server
 from repro.registry.models import MODELS, make_model
-from repro.registry.specs import KINDS, ClusterSpec, ServerSpec
+from repro.registry.specs import KINDS, ClusterSpec, ServeSpec, ServerSpec
 from repro.registry import presets
 
 __all__ = [
     "ServerSpec",
     "ClusterSpec",
+    "ServeSpec",
     "KINDS",
     "MODELS",
     "make_model",

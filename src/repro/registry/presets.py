@@ -12,7 +12,7 @@ from typing import Dict, Optional
 
 from repro.core.config import BatchingConfig
 from repro.gpu.memory import DEFAULT_STATE_BYTES, MemorySpec
-from repro.registry.specs import ClusterSpec, ServerSpec
+from repro.registry.specs import ClusterSpec, ServeSpec, ServerSpec
 
 # Per-batch fixed overheads for the two padding baselines: in the paper's
 # Figure 7 TensorFlow tracks MXNet closely but slightly worse; the gap is a
@@ -293,6 +293,38 @@ def seq2seq_dynamic_cluster_spec(
             capacity_requests, admission_free_requests
         ).to_dict(),
         name=f"BatchMaker-dynamic x{num_replicas} ({router})",
+    )
+
+
+def lstm_serve_spec(
+    host: str = "127.0.0.1",
+    port: int = 8123,
+    journal: Optional[str] = None,
+    max_batch: int = 512,
+    num_gpus: int = 1,
+    num_replicas: int = 1,
+    router: str = "round_robin",
+) -> ServeSpec:
+    """The default live-serving deployment (:mod:`repro.serve`): BatchMaker
+    LSTM replicas behind the HTTP front end, over the real-time clock.
+    ``num_replicas=1`` serves a bare engine; more builds a cluster."""
+    if num_replicas == 1:
+        return ServeSpec(
+            server=lstm_batchmaker_spec(max_batch=max_batch, num_gpus=num_gpus),
+            host=host,
+            port=port,
+            journal=journal,
+        )
+    return ServeSpec(
+        cluster=lstm_cluster_spec(
+            num_replicas=num_replicas,
+            router=router,
+            num_gpus=num_gpus,
+            max_batch=max_batch,
+        ),
+        host=host,
+        port=port,
+        journal=journal,
     )
 
 

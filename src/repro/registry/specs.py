@@ -247,3 +247,101 @@ class ClusterSpec:
             f"replica={self.replica!r}, "
             f"autoscaler={'on' if self.autoscaler else 'off'})"
         )
+
+
+class ServeSpec:
+    """A live serving deployment, as data (see :mod:`repro.serve`).
+
+    Wraps either a single :class:`ServerSpec` or a :class:`ClusterSpec`
+    (exactly one) with the front-end's runtime knobs.  Like the other
+    specs it is a JSON-round-trippable value object, so a deployment can
+    be checked in, diffed, and rebuilt exactly.
+
+    Parameters
+    ----------
+    server / cluster:
+        The engine behind the front door; exactly one must be given.
+    host, port:
+        Listen address.  ``port=0`` binds an ephemeral port (tests).
+    journal:
+        Path of the append-only request-journal JSONL; None disables
+        persistence (the status store then lives in memory only).
+    drain_grace:
+        Seconds a graceful shutdown waits for in-flight requests before
+        aborting the stragglers (the store marks them ABORTED).
+    drift_tolerance:
+        Seconds of timer lateness tolerated before the bridge's drift
+        guard logs/counts a late fire (default 1 ms).
+    """
+
+    def __init__(
+        self,
+        server: Optional[ServerSpec] = None,
+        cluster: Optional["ClusterSpec"] = None,
+        host: str = "127.0.0.1",
+        port: int = 8123,
+        journal: Optional[str] = None,
+        drain_grace: float = 5.0,
+        drift_tolerance: float = 1e-3,
+    ):
+        if (server is None) == (cluster is None):
+            raise ValueError("exactly one of server= / cluster= must be given")
+        if server is not None and not isinstance(server, ServerSpec):
+            raise TypeError(f"server must be a ServerSpec, got {type(server)!r}")
+        if cluster is not None and not isinstance(cluster, ClusterSpec):
+            raise TypeError(f"cluster must be a ClusterSpec, got {type(cluster)!r}")
+        if not 0 <= int(port) <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {port}")
+        if drain_grace < 0:
+            raise ValueError("drain_grace must be non-negative")
+        if drift_tolerance <= 0:
+            raise ValueError("drift_tolerance must be positive")
+        self.server = server
+        self.cluster = cluster
+        self.host = host
+        self.port = int(port)
+        self.journal = journal
+        self.drain_grace = float(drain_grace)
+        self.drift_tolerance = float(drift_tolerance)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "server": self.server.to_dict() if self.server is not None else None,
+            "cluster": self.cluster.to_dict() if self.cluster is not None else None,
+            "host": self.host,
+            "port": self.port,
+            "journal": self.journal,
+            "drain_grace": self.drain_grace,
+            "drift_tolerance": self.drift_tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServeSpec":
+        server = data.get("server")
+        cluster = data.get("cluster")
+        return cls(
+            server=ServerSpec.from_dict(server) if server is not None else None,
+            cluster=ClusterSpec.from_dict(cluster) if cluster is not None else None,
+            host=data.get("host", "127.0.0.1"),
+            port=data.get("port", 8123),
+            journal=data.get("journal"),
+            drain_grace=data.get("drain_grace", 5.0),
+            drift_tolerance=data.get("drift_tolerance", 1e-3),
+        )
+
+    def replace(self, **changes: Any) -> "ServeSpec":
+        """A copy with the given fields replaced (specs are value objects)."""
+        data = self.to_dict()
+        data.update(changes)
+        if isinstance(data["server"], ServerSpec):
+            data["server"] = data["server"].to_dict()
+        if isinstance(data["cluster"], ClusterSpec):
+            data["cluster"] = data["cluster"].to_dict()
+        return ServeSpec.from_dict(data)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, ServeSpec) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        target = self.cluster if self.cluster is not None else self.server
+        return f"ServeSpec({self.host}:{self.port}, target={target!r})"

@@ -1,0 +1,56 @@
+"""Live serving front end over the real-time clock.
+
+Everything below ``repro.serve`` runs the *same* engine objects the
+simulator runs (``InferenceServer``, ``ClusterServer``, the Manager and
+Scheduler inside them) — unmodified — against wall time:
+
+- :mod:`repro.serve.bridge` — :class:`LiveEventLoop` maps the engine's
+  ``call_at`` machinery onto a single re-armed asyncio timer.
+- :mod:`repro.serve.store` — :class:`RequestStore`, the persistent
+  request-status store with an append-only JSONL journal and
+  replay-on-start crash recovery.
+- :mod:`repro.serve.frontend` — :class:`ServeApp`, a hand-rolled
+  HTTP/1.1 front end (stdlib asyncio streams only) with graceful
+  drain-on-signal shutdown; ``python -m repro.serve`` starts one.
+- :mod:`repro.serve.loadgen` — socket client that replays the
+  simulator's seeded workload plans; ``python -m repro.serve.loadgen``.
+- :mod:`repro.serve.parity` — the sim-vs-live parity harness: same seed
+  must give the same per-request outcomes, and live p50/p99 must land
+  within tolerance bands of the simulator's prediction.
+
+Importing :mod:`repro` (or running any simulated experiment) never
+imports this package; simulated runs stay bit-identical with or without
+it (guarded by the fingerprint suites).
+"""
+
+from repro.serve.bridge import LiveEventLoop
+from repro.serve.frontend import ServeApp, ServeHandle, start_in_thread
+from repro.serve.store import (
+    ABORTED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    IllegalTransition,
+    JournalCorrupt,
+    RequestRecord,
+    RequestStore,
+)
+
+__all__ = [
+    "LiveEventLoop",
+    "ServeApp",
+    "ServeHandle",
+    "start_in_thread",
+    "RequestStore",
+    "RequestRecord",
+    "IllegalTransition",
+    "JournalCorrupt",
+    "PENDING",
+    "RUNNING",
+    "SUCCEEDED",
+    "FAILED",
+    "ABORTED",
+    "TERMINAL_STATES",
+]

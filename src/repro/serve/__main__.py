@@ -1,0 +1,92 @@
+"""``python -m repro.serve`` — start the live HTTP serving front end.
+
+Builds a :class:`~repro.registry.ServeSpec` from the CLI flags (the
+``lstm_serve_spec`` preset by default), binds the socket, and serves
+until SIGINT/SIGTERM, at which point in-flight requests are drained
+(bounded by ``--drain-grace``) and still-queued ones marked ABORTED
+before the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    from repro.registry.presets import lstm_serve_spec
+    from repro.serve.frontend import ServeApp
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a BatchMaker engine (or cluster) over HTTP on "
+        "the real-time clock.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8123, help="0 picks an ephemeral port"
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append-only JSONL request journal (crash-safe status store); "
+        "omit for in-memory only",
+    )
+    parser.add_argument("--num-replicas", type=int, default=1)
+    parser.add_argument("--num-gpus", type=int, default=1)
+    parser.add_argument("--max-batch", type=int, default=512)
+    parser.add_argument(
+        "--router",
+        default="round_robin",
+        help="cluster routing policy (used when --num-replicas > 1)",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        help="seconds to wait for in-flight requests on shutdown",
+    )
+    args = parser.parse_args(argv)
+
+    spec = lstm_serve_spec(
+        host=args.host,
+        port=args.port,
+        journal=args.journal,
+        max_batch=args.max_batch,
+        num_gpus=args.num_gpus,
+        num_replicas=args.num_replicas,
+        router=args.router,
+    ).replace(drain_grace=args.drain_grace)
+
+    app = ServeApp(spec)
+
+    async def run() -> int:
+        def announce() -> None:
+            print(
+                f"repro.serve: listening on http://{args.host}:{app.port} "
+                f"(replicas={args.num_replicas}, journal={args.journal or 'memory'}"
+                f"{', recovered ' + str(app.recovered) if app.recovered else ''})",
+                flush=True,
+            )
+
+        ready: asyncio.Event = asyncio.Event()
+
+        async def watch_ready() -> None:
+            await ready.wait()
+            announce()
+
+        watcher = asyncio.ensure_future(watch_ready())
+        code = await app.serve(ready=ready)
+        watcher.cancel()
+        return code
+
+    return asyncio.run(run())
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -131,10 +131,13 @@ class InferenceServer:
         not finished by then is cancelled with a terminal TIMED_OUT status
         (servers without SLA machinery ignore it).
         """
-        when = self.loop.now() if arrival_time is None else arrival_time
-        if when < self.loop.now():
+        # Read the clock once: under a wall clock now() moves between two
+        # reads, so re-reading would reject every explicit arrival time.
+        now = self.loop.now()
+        when = now if arrival_time is None else arrival_time
+        if when < now:
             raise ValueError(
-                f"arrival time {when} is in the past (now={self.loop.now()})"
+                f"arrival time {when} is in the past (now={now})"
             )
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be positive, got {deadline}")

@@ -47,8 +47,16 @@ class VirtualClock(Clock):
         self._now = t
 
 
-class RealClock(Clock):
-    """Wall-clock time, rebased so that construction time is t=0."""
+class RealTimeClock(Clock):
+    """Wall-clock time, rebased so that construction time is t=0.
+
+    The time source behind live serving (:mod:`repro.serve`): the same
+    event-loop machinery that drives a :class:`VirtualClock` through
+    simulated time runs over this clock in real time — events fire when
+    the wall clock reaches them instead of the loop jumping to them.
+    ``monotonic_offset`` exposes the rebasing epoch so an external timer
+    wheel (asyncio) can convert loop timestamps to its own timebase.
+    """
 
     def __init__(self):
         self._epoch = time.monotonic()
@@ -58,3 +66,11 @@ class RealClock(Clock):
 
     def is_virtual(self) -> bool:
         return False
+
+    def monotonic_offset(self) -> float:
+        """``time.monotonic()`` value at this clock's t=0."""
+        return self._epoch
+
+
+# Historical name (pre-repro.serve); RealTimeClock is the ROADMAP name.
+RealClock = RealTimeClock

@@ -9,9 +9,16 @@ for a given seed.
 from __future__ import annotations
 
 import heapq
+import logging
 from typing import Any, Callable, Optional
 
-from repro.sim.clock import VirtualClock
+from repro.sim.clock import Clock, VirtualClock
+
+logger = logging.getLogger(__name__)
+
+# A timer firing later than this (seconds) after its scheduled time is
+# logged by ``run_due`` — the live-serving drift guard (DESIGN.md §16).
+DEFAULT_DRIFT_TOLERANCE = 1e-3
 
 
 class Event:
@@ -57,29 +64,58 @@ class Event:
 
 
 class EventLoop:
-    """Drives a :class:`VirtualClock` through a heap of timed callbacks.
+    """Drives a :class:`~repro.sim.clock.Clock` through a heap of timed
+    callbacks.
 
     The loop is single-threaded and re-entrant: callbacks may schedule new
     events (including at the current time) and they will run in order.
+
+    Two execution modes, decided by the clock:
+
+    * **Virtual** (the default :class:`VirtualClock`): :meth:`run` /
+      :meth:`step` pop events and *advance* the clock to each event's
+      time — the deterministic simulation mode every fingerprint suite
+      pins down.
+    * **Wall** (a non-virtual clock such as
+      :class:`~repro.sim.clock.RealTimeClock`): time moves on its own;
+      :meth:`run_due` fires exactly the events whose time has arrived and
+      an external timer (asyncio in :mod:`repro.serve.bridge`) decides
+      *when* to pump.  ``run``/``step`` refuse to run — they would fire
+      future events early because a wall clock cannot be advanced.
     """
 
-    def __init__(self, clock: Optional[VirtualClock] = None):
-        self.clock: VirtualClock = clock if clock is not None else VirtualClock()
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock: Clock = clock if clock is not None else VirtualClock()
+        self._virtual = self.clock.is_virtual()
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
         # Count of scheduled, not-yet-run, not-cancelled events; maintained
         # on push/pop/cancel so ``pending()`` is O(1) instead of a heap scan.
         self._live = 0
+        # Wall-mode drift guard (see run_due): fires later than the
+        # tolerance are logged and counted, so a saturated live server is
+        # visible in the metrics instead of silently sloppy.
+        self.drift_tolerance = DEFAULT_DRIFT_TOLERANCE
+        self.late_fires = 0
+        self.max_drift = 0.0
 
     # -- scheduling -------------------------------------------------------
 
     def call_at(self, when: float, callback: Callable[[], Any]) -> Event:
-        """Schedule ``callback`` to run at absolute time ``when``."""
+        """Schedule ``callback`` to run at absolute time ``when``.
+
+        Under a virtual clock a past ``when`` is a scheduling bug and
+        raises.  Under a wall clock it is routine — the clock moved while
+        the caller computed ``when`` — so the event is clamped to now and
+        fires on the next pump.
+        """
         if when < self.clock.now():
-            raise ValueError(
-                f"cannot schedule event in the past: {when} < {self.clock.now()}"
-            )
+            if self._virtual:
+                raise ValueError(
+                    f"cannot schedule event in the past: {when} < {self.clock.now()}"
+                )
+            when = self.clock.now()
         event = Event(when, self._seq, callback)
         event._loop = self
         self._seq += 1
@@ -125,6 +161,11 @@ class EventLoop:
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
+        if not self._virtual:
+            raise RuntimeError(
+                "step()/run() drive a virtual clock; under a wall clock "
+                "use run_due() (see repro.serve.bridge.LiveEventLoop)"
+            )
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
@@ -145,6 +186,11 @@ class EventLoop:
         even if the last event fires earlier, so that metrics windows line
         up with the requested horizon.
         """
+        if not self._virtual:
+            raise RuntimeError(
+                "step()/run() drive a virtual clock; under a wall clock "
+                "use run_due() (see repro.serve.bridge.LiveEventLoop)"
+            )
         if self._running:
             raise RuntimeError("event loop is already running")
         self._running = True
@@ -164,4 +210,52 @@ class EventLoop:
             self._running = False
         if until is not None and until > self.clock.now():
             self.clock.advance_to(until)
+        return executed
+
+    def run_due(self, max_events: Optional[int] = None) -> int:
+        """Fire every event whose scheduled time has arrived (clock-agnostic).
+
+        The wall-clock pump primitive: pops events with ``time <= now``
+        without touching the clock, so it works under both clock kinds
+        (under a virtual clock it only drains events at exactly the
+        current time, i.e. the ``call_soon`` backlog).  Callbacks may
+        schedule new events; ones that land due are drained in the same
+        call.  Returns the number of events executed.
+
+        Drift guard: an event firing more than ``drift_tolerance``
+        seconds after its scheduled time increments ``late_fires``,
+        raises ``max_drift`` and logs a warning — on a live server this
+        is the signal that the asyncio timer wheel (or the Python work
+        between timers) cannot keep up with real time.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            now = self.clock.now()
+            if head.time > now:
+                break
+            event = heapq.heappop(self._heap)
+            event.fired = True
+            event._loop = None
+            self._live -= 1
+            drift = now - event.time
+            if drift > self.drift_tolerance:
+                self.late_fires += 1
+                if drift > self.max_drift:
+                    self.max_drift = drift
+                logger.warning(
+                    "timer fired %.3f ms late (scheduled t=%.6f, now t=%.6f)",
+                    1e3 * drift,
+                    event.time,
+                    now,
+                )
+            elif drift > self.max_drift:
+                self.max_drift = drift
+            event.callback()
+            executed += 1
         return executed

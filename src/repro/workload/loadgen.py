@@ -8,7 +8,7 @@ the paper's evaluation.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.metrics.latency import LatencyStats
 from repro.metrics.summary import RunSummary
@@ -56,6 +56,21 @@ class LoadGenerator:
         self.seed = seed
         self.warmup_fraction = warmup_fraction
 
+    def plan(self, dataset: Any) -> List[Tuple[float, Any]]:
+        """The exact ``(arrival_time, payload)`` sequence :meth:`run` would
+        submit: arrivals from the seeded Poisson process, one dataset
+        sample per arrival, in arrival order.
+
+        This is the workload's *identity* — the live serving loadgen
+        (:mod:`repro.serve.loadgen`) replays the same plan over real
+        sockets, which is what makes sim-vs-live parity a like-for-like
+        comparison (same seed -> same payload at the same offset in both
+        worlds).
+        """
+        arrivals = PoissonArrivals(self.rate, seed=self.seed)
+        times = arrivals.times(self.num_requests)
+        return [(when, dataset.sample_one()) for when in times]
+
     def run(
         self,
         server: InferenceServer,
@@ -63,10 +78,8 @@ class LoadGenerator:
         deadline: Optional[float] = None,
     ) -> RunResult:
         """Run the experiment to completion (or ``deadline`` virtual seconds)."""
-        arrivals = PoissonArrivals(self.rate, seed=self.seed)
-        times = arrivals.times(self.num_requests)
-        for when in times:
-            server.submit(dataset.sample_one(), arrival_time=when)
+        for when, payload in self.plan(dataset):
+            server.submit(payload, arrival_time=when)
         server.drain(until=deadline)
 
         warmup_cutoff = int(self.num_requests * self.warmup_fraction)

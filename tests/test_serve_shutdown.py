@@ -1,0 +1,171 @@
+"""Graceful shutdown and kill-and-replay crash recovery.
+
+The invariant under test (ISSUE satellite 2): across any combination of
+graceful drains, hard kills, and journal replays, every accepted request
+reaches **exactly one** terminal state — nothing lost, nothing
+double-terminal."""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.registry.presets import lstm_serve_spec
+from repro.serve.frontend import start_in_thread
+from repro.serve.store import (
+    ABORTED,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    RequestStore,
+)
+
+pytestmark = pytest.mark.timing
+
+LONG_REQUEST = 60000  # keeps the engine busy for O(seconds)
+
+
+def _submit(port, payload):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    conn.request("POST", "/v1/requests", body=json.dumps({"payload": payload}))
+    response = conn.getresponse()
+    record = json.loads(response.read())
+    conn.close()
+    assert response.status == 201
+    return record["rid"]
+
+
+def test_graceful_stop_terminalises_every_request(tmp_path):
+    """Drain finishes quick work, aborts stragglers, and the journal a
+    later process replays agrees record for record."""
+    journal = str(tmp_path / "journal.jsonl")
+    spec = lstm_serve_spec(port=0, journal=journal).replace(drain_grace=0.5)
+    handle = start_in_thread(spec)
+    rids = [_submit(handle.port, 10) for _ in range(5)]
+    rids += [_submit(handle.port, LONG_REQUEST) for _ in range(3)]
+    handle.stop()
+    assert not handle.thread.is_alive()
+
+    store = RequestStore(journal)
+    assert len(store) == len(rids)
+    states = {rid: store.get(rid).state for rid in rids}
+    assert all(state in TERMINAL_STATES for state in states.values()), states
+    # The short requests finished inside the grace; the long stragglers
+    # were aborted rather than left dangling.
+    assert sum(1 for s in states.values() if s == SUCCEEDED) >= 5
+    assert all(
+        store.get(rid).reason == "shutdown"
+        for rid, state in states.items()
+        if state == ABORTED
+    )
+    store.close()
+
+
+def test_kill_and_replay_never_loses_or_double_terminates(tmp_path):
+    """Hard-kill the server mid-flight; a new life over the same journal
+    must (a) see every accepted request, (b) abort the in-flight ones
+    exactly once, and (c) leave already-terminal records untouched."""
+    journal = str(tmp_path / "journal.jsonl")
+    spec = lstm_serve_spec(port=0, journal=journal)
+    handle = start_in_thread(spec)
+    fast = [_submit(handle.port, 8) for _ in range(4)]
+    # Give the fast ones time to finish before the kill.
+    time.sleep(1.0)
+    slow = [_submit(handle.port, LONG_REQUEST) for _ in range(3)]
+    handle.kill()
+    assert not handle.thread.is_alive()
+
+    # Second life: replay + crash recovery (what ServeApp does at boot).
+    store = RequestStore(journal)
+    assert len(store) == len(fast) + len(slow)
+    non_terminal_before = [
+        rid for rid in fast + slow if not store.get(rid).terminal
+    ]
+    recovered = store.abort_non_terminal(99.0, reason="crash_recovered")
+    assert {r.rid for r in recovered} == set(non_terminal_before)
+    for rid in fast + slow:
+        assert store.get(rid).terminal
+    succeeded_states = {
+        rid: store.get(rid).state
+        for rid in fast
+        if store.get(rid).state == SUCCEEDED
+    }
+    store.close()
+
+    # Third life: replay again — idempotent, nothing moves twice.
+    replay = RequestStore(journal)
+    assert replay.terminal_count() == len(fast) + len(slow)
+    for rid, state in succeeded_states.items():
+        assert replay.get(rid).state == state  # crash recovery kept wins
+    assert all(
+        replay.get(r.rid).state == ABORTED
+        and replay.get(r.rid).reason == "crash_recovered"
+        for r in recovered
+    )
+    replay.close()
+
+
+def test_serve_app_boot_recovers_crashed_journal(tmp_path):
+    """A real ServeApp over a crashed journal aborts the orphans itself."""
+    journal = str(tmp_path / "journal.jsonl")
+    handle = start_in_thread(lstm_serve_spec(port=0, journal=journal))
+    _submit(handle.port, LONG_REQUEST)
+    handle.kill()
+
+    second = start_in_thread(lstm_serve_spec(port=0, journal=journal))
+    try:
+        assert len(second.app.recovered) == 1
+        assert second.app.recovered[0].state == ABORTED
+        assert second.app.recovered[0].reason == "crash_recovered"
+        # The recovered record is visible over HTTP in its terminal state.
+        conn = http.client.HTTPConnection("127.0.0.1", second.port, timeout=10)
+        conn.request("GET", f"/v1/requests/{second.app.recovered[0].rid}")
+        response = conn.getresponse()
+        assert json.loads(response.read())["state"] == ABORTED
+        conn.close()
+    finally:
+        second.stop()
+
+
+def test_sigterm_drains_and_exits_zero(tmp_path):
+    """The real process contract: SIGTERM -> drain -> exit code 0."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "--port",
+            "0",
+            "--journal",
+            str(tmp_path / "journal.jsonl"),
+            "--drain-grace",
+            "1.0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        text=True,
+    )
+    try:
+        announce = process.stdout.readline()
+        assert "listening on" in announce, announce
+        port = int(announce.split(":")[-1].split(" ")[0].split("/")[-1])
+        for _ in range(3):
+            _submit(port, 10)
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=15) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+    store = RequestStore(str(tmp_path / "journal.jsonl"))
+    assert len(store) == 3
+    assert store.terminal_count() == 3
+    store.close()
