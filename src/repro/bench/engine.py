@@ -28,6 +28,12 @@ Measurements:
   formation), active with a roomy budget (the fit filter runs and keeps
   everything), and active under pressure (every member defers).
 
+* **Energy accounting** (:mod:`repro.gpu.energy`): raw ``charge_task``
+  calls/sec on one :class:`EnergyModel`, ``decide()`` calls/sec per
+  registered DVFS governor, and the whole-run serving overhead of a
+  V100 energy spec vs the identical energy-blind run (the cost the
+  ``energy_spec is None`` guards are protecting against).
+
 * **Serving front end** (:mod:`repro.bench.serve`): submit-path cost
   through ``ServeApp.submit_payload``, engine-outcome -> store sync cost
   per terminal, and end-to-end requests/sec through the live HTTP/1.1
@@ -54,7 +60,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-BENCH_SCHEMA = 8
+BENCH_SCHEMA = 9
 DEFAULT_DEPTHS = (250, 1000, 4000)
 SMOKE_DEPTHS = (250, 1000)
 # Policy bundles timed by bench_policy_overhead: decision rate of the
@@ -402,6 +408,95 @@ def bench_memory(
     return results
 
 
+def bench_energy(
+    charge_ops: int = 200_000,
+    decisions: int = 200_000,
+    num_requests: int = 800,
+    rate: float = 5000.0,
+) -> Dict:
+    """Energy-accounting overhead: the raw books, the governors, and the
+    whole-run cost of keeping them.
+
+    * ``charge`` — tight-loop :meth:`EnergyModel.charge_task` calls with
+      an 8-request batch (the per-kernel cost every submission pays when
+      a spec is configured).
+    * ``governors`` — ``decide()`` calls/sec per registered governor over
+      a synthetic bursty busy-time stream (the per-batch-boundary DVFS
+      cost; the stream swings between saturation and idle so the adaptive
+      governors exercise both branches).
+    * ``serving`` — wall-clock of one LSTM load point carrying the V100
+      spec + race_to_idle governor vs the identical energy-blind run
+      (best of 2 each): the end-to-end overhead the
+      ``energy_spec is None`` guards are protecting against.
+
+    The 2x regression gate is on ``charges_per_sec`` and each governor's
+    ``decisions_per_sec`` so neither the books nor a governor can grow
+    superlinear silently.
+    """
+    from repro.gpu.energy import GOVERNORS, EnergyModel, make_governor
+    from repro.registry import build_server
+    from repro.registry.presets import lstm_batchmaker_spec, lstm_energy_spec
+    from repro.sim.timebase import measure_best
+    from repro.workload import LoadGenerator, SequenceDataset
+
+    model = EnergyModel()
+    ids = list(range(8))
+    start = time.perf_counter()
+    for _ in range(charge_ops):
+        model.charge_task(1e-4, ids)
+    elapsed = time.perf_counter() - start
+    charge_rate = charge_ops / elapsed if elapsed > 0 else 0.0
+    results: Dict = {
+        "charge": {
+            "charges": charge_ops,
+            "batch_requests": len(ids),
+            "seconds": elapsed,
+            "charges_per_sec": charge_rate,
+            "us_per_charge": 1e6 / charge_rate if charge_rate > 0 else None,
+        }
+    }
+
+    frequencies = (0.6, 0.8, 1.0)
+    governor_results: Dict[str, Dict] = {}
+    for name in sorted(GOVERNORS):
+        governor = make_governor(name, frequencies)
+        now = busy = 0.0
+        start = time.perf_counter()
+        for i in range(decisions):
+            now += 1e-3
+            if (i // 64) % 2 == 0:
+                busy += 1e-3
+            governor.decide(now, busy)
+        elapsed = time.perf_counter() - start
+        decide_rate = decisions / elapsed if elapsed > 0 else 0.0
+        governor_results[name] = {
+            "decisions": decisions,
+            "seconds": elapsed,
+            "decisions_per_sec": decide_rate,
+            "us_per_decision": 1e6 / decide_rate if decide_rate > 0 else None,
+        }
+    results["governors"] = governor_results
+
+    def run_once(energy: bool) -> None:
+        spec = lstm_energy_spec() if energy else lstm_batchmaker_spec()
+        server = build_server(spec)
+        generator = LoadGenerator(rate=rate, num_requests=num_requests, seed=7)
+        generator.run(server, SequenceDataset(seed=1))
+
+    run_once(False)  # warm caches before timing either variant
+    blind_s = measure_best(lambda: run_once(False), repeats=2)
+    energized_s = measure_best(lambda: run_once(True), repeats=2)
+    results["serving"] = {
+        "run_requests": num_requests,
+        "blind_seconds": blind_s,
+        "energy_seconds": energized_s,
+        "overhead_pct": (
+            100.0 * (energized_s - blind_s) / blind_s if blind_s else None
+        ),
+    }
+    return results
+
+
 def _build_bench_replicas(num_replicas: int, indexed: bool):
     """Engine-free replicas with a scattered load profile (so the
     load-aware policies do real min-by-key work and hit the seeded
@@ -644,6 +739,7 @@ BENCH_SECTIONS = (
     "policies",
     "slo",
     "memory",
+    "energy",
     "cluster",
     "trace",
     "serve",
@@ -692,6 +788,12 @@ def run_engine_bench(
             depth=SMOKE_DEPTHS[-1] if smoke else 1000,
             calls=500 if smoke else 2000,
             reserve_ops=50_000 if smoke else 200_000,
+        )
+    if wanted("energy"):
+        bench["energy"] = bench_energy(
+            charge_ops=50_000 if smoke else 200_000,
+            decisions=50_000 if smoke else 200_000,
+            num_requests=300 if smoke else 800,
         )
     if wanted("cluster"):
         bench["cluster"] = bench_cluster_routing(
@@ -785,6 +887,29 @@ def check_regression(current: Dict, baseline_path: str) -> List[str]:
                 f"memory kick filter {name}: {cur_rate:,.0f} forms/s is more "
                 f"than {REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
             )
+    base_energy = baseline.get("energy", {})
+    cur_energy = current.get("energy", {})
+    base_charges = base_energy.get("charge", {}).get("charges_per_sec")
+    cur_charges = cur_energy.get("charge", {}).get("charges_per_sec")
+    if (
+        base_charges
+        and cur_charges
+        and cur_charges < base_charges / REGRESSION_FACTOR
+    ):
+        failures.append(
+            f"energy accounting: {cur_charges:,.0f} charges/s is more than "
+            f"{REGRESSION_FACTOR}x below baseline {base_charges:,.0f}"
+        )
+    for name, entry in base_energy.get("governors", {}).items():
+        if name not in cur_energy.get("governors", {}):
+            continue
+        base_rate = entry["decisions_per_sec"]
+        cur_rate = cur_energy["governors"][name]["decisions_per_sec"]
+        if base_rate > 0 and cur_rate < base_rate / REGRESSION_FACTOR:
+            failures.append(
+                f"governor {name}: {cur_rate:,.0f} decisions/s is more than "
+                f"{REGRESSION_FACTOR}x below baseline {base_rate:,.0f}"
+            )
     for name, entry in baseline.get("sustained", {}).items():
         if name not in current.get("sustained", {}):
             continue
@@ -865,6 +990,29 @@ def _print_report(bench: Dict) -> None:
                 if entry["us_per_form"] is not None
             ]
             print(f"memory kick filter @depth {depth}: " + ", ".join(parts))
+    energy = bench.get("energy", {})
+    if energy:
+        charge = energy.get("charge", {})
+        if charge.get("us_per_charge") is not None:
+            print(
+                f"energy model: {charge['charges_per_sec']:,.0f} charges/s "
+                f"({charge['us_per_charge']:.2f} us/charge, batch of "
+                f"{charge['batch_requests']})"
+            )
+        governors = energy.get("governors", {})
+        if governors:
+            parts = [
+                f"{name} {entry['us_per_decision']:.2f} us/dec"
+                for name, entry in governors.items()
+                if entry["us_per_decision"] is not None
+            ]
+            print("governor decisions: " + ", ".join(parts))
+        serving = energy.get("serving", {})
+        if serving.get("overhead_pct") is not None:
+            print(
+                f"energy serving: {serving['overhead_pct']:+.1f}% vs "
+                f"energy-blind run ({serving['run_requests']} requests)"
+            )
     cluster = bench.get("cluster", {})
     if cluster:
         replicas = next(iter(cluster.values()))["num_replicas"]

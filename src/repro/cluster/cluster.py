@@ -99,6 +99,18 @@ class ClusterServer(InferenceServer):
         )
         self.replicas: List[Replica] = []
         self._next_replica_id = 0
+        # Heterogeneous fleets (DESIGN.md §17): the initial replica ids'
+        # class ranks, expanded from ``device_classes`` in declaration
+        # order; None keeps the exact homogeneous construction path.
+        # Class cost models are built once and shared by the class's
+        # replicas (read-only: the manager derives its own DVFS-scaled
+        # copies).
+        self._class_plan: Optional[List[int]] = None
+        self._class_cost_models: dict = {}
+        if spec.device_classes is not None:
+            self._class_plan = []
+            for rank, cls in enumerate(spec.device_classes):
+                self._class_plan.extend([rank] * int(cls["replicas"]))
         # Event-driven per-replica load index (DESIGN.md §13): replicas push
         # deltas, load-aware routers pop the tied minimum instead of
         # scanning.  ``fast_path=False`` on the router keeps the scan.
@@ -182,14 +194,42 @@ class ClusterServer(InferenceServer):
         self._next_replica_id += 1
         template = self.spec.replica
         base = template.name if template.name is not None else template.kind
+        runtime = dict(self._replica_runtime)
+        # Heterogeneous / energy-defaulted build (DESIGN.md §17), gated so
+        # a spec with neither device_classes nor a cluster-level energy
+        # default takes the exact pre-energy path (the bit-identity rule).
+        cls = None
+        class_rank = 0
+        if self._class_plan is not None:
+            if replica_id < len(self._class_plan):
+                class_rank = self._class_plan[replica_id]
+            else:  # autoscaler spawn: rebalance toward the declared mix
+                class_rank = self._pick_spawn_class()
+            cls = self.spec.device_classes[class_rank]
+        if cls is not None or self.spec.energy is not None:
+            # Energy precedence: class energy > cluster default > the
+            # template's own (the default only fills an absent field).
+            energy = cls.get("energy") if cls is not None else None
+            if energy is None and template.energy is None:
+                energy = self.spec.energy
+            if energy is not None:
+                template = template.replace(energy=dict(energy))
+            if cls is not None and "cost_model" not in runtime:
+                cost_model = self._class_cost_model(class_rank)
+                if cost_model is not None:
+                    runtime["cost_model"] = cost_model
         server = build_server(
             template.replace(name=f"{base}#r{replica_id}"),
             loop=self.loop,
-            **dict(self._replica_runtime),
+            **runtime,
         )
         replica = Replica(
             replica_id, server, state=state, created_at=self.loop.now()
         )
+        if cls is not None:
+            replica.device_class = cls["name"]
+            replica.class_rank = class_rank
+            replica.latency_scale = float(cls.get("latency_scale", 1.0))
         # Per-replica predictor behind the predicted_delay routing metric —
         # per replica (not the cluster's) so one completion dirties one
         # index key.  Left None otherwise: the metric then falls back to
@@ -201,6 +241,50 @@ class ClusterServer(InferenceServer):
         if self.trace_recorder is not None:
             server.attach_trace(self.trace_recorder, replica_id=replica_id)
         return replica
+
+    def _pick_spawn_class(self) -> int:
+        """The class an autoscaler spawn should build: the one most
+        under-provisioned relative to the declared mix (min serving
+        count over declared count; declaration order breaks ties —
+        deterministic, no iteration-order dependence)."""
+        classes = self.spec.device_classes
+        counts = [0] * len(classes)
+        for replica in self.replicas:
+            if replica.state in (WARMING, ALIVE):
+                counts[replica.class_rank] += 1
+        return min(
+            range(len(classes)),
+            key=lambda rank: (counts[rank] / int(classes[rank]["replicas"]), rank),
+        )
+
+    def _class_cost_model(self, class_rank: int):
+        """The class's re-calibrated cost model, built once and shared by
+        the class's replicas: the replica model's calibrated default,
+        with the class's named-table overrides registered on top
+        (:data:`repro.gpu.costmodel.NAMED_TABLES`), then uniformly
+        slowed by ``latency_scale``.  None when the class declares no
+        re-calibration (the replica then builds its own default — the
+        homogeneous path)."""
+        if class_rank in self._class_cost_models:
+            return self._class_cost_models[class_rank]
+        cls = self.spec.device_classes[class_rank]
+        tables = cls.get("tables") or {}
+        scale = float(cls.get("latency_scale", 1.0))
+        if not tables and scale == 1.0:
+            cost_model = None
+        else:
+            from repro.gpu.costmodel import make_table
+            from repro.registry.models import make_model
+
+            template = self.spec.replica
+            model = make_model(template.model, **template.model_args)
+            cost_model = model.default_cost_model()
+            for cell in sorted(tables):
+                cost_model.register(cell, make_table(tables[cell]))
+            if scale != 1.0:
+                cost_model = cost_model.scaled(scale)
+        self._class_cost_models[class_rank] = cost_model
+        return cost_model
 
     def _spawn_replica(self, now: float) -> Replica:
         """Autoscaler scale-up: build a replica, make it routable after the
@@ -528,6 +612,12 @@ class ClusterServer(InferenceServer):
 
     def stats(self) -> ClusterStats:
         return ClusterStats(self)
+
+    def energy_joules(self) -> float:
+        """Integrated joules summed over every replica's engine — active
+        kernel energy plus idle power over sim time (0.0 when no replica
+        carries an energy model, so loadgen extras stay absent)."""
+        return sum(replica.energy_joules() for replica in self.replicas)
 
     def tasks_submitted(self) -> int:
         return sum(

@@ -111,6 +111,16 @@ def _free_memory_key(replica) -> float:
     return -replica.free_memory()
 
 
+def _energy_cost_key(replica) -> float:
+    """Marginal joules per cell on the replica's cheapest alive device.
+    Replicas without an energy model report 0.0, so they all tie and the
+    seeded tie-break takes over — the metric is inert unless the replica
+    spec carries an EnergySpec.  Event-driven: dynamic watts move only at
+    batch-boundary DVFS decisions and the node-time EWMA on completions,
+    both of which fire ``on_load_changed``."""
+    return replica.energy_cost()
+
+
 def _predicted_key(replica) -> float:
     return replica.predicted_delay()
 
@@ -135,11 +145,14 @@ PREDICTED_DELAY = LoadMetric(
 # Event-driven, never decays with time: bytes move only on reserve/release,
 # and every reserving/releasing engine path fires ``on_load_changed``.
 FREE_MEMORY = LoadMetric("free_memory", _free_memory_key, _never_volatile)
+# Event-driven, never decays with time: see _energy_cost_key.
+ENERGY_COST = LoadMetric("energy_cost", _energy_cost_key, _never_volatile)
 METRICS: Dict[str, LoadMetric] = {
     OUTSTANDING.name: OUTSTANDING,
     PROJECTED_DELAY.name: PROJECTED_DELAY,
     PREDICTED_DELAY.name: PREDICTED_DELAY,
     FREE_MEMORY.name: FREE_MEMORY,
+    ENERGY_COST.name: ENERGY_COST,
 }
 
 
@@ -314,7 +327,12 @@ class LoadIndex:
         released, EWMA/predictor update) — the outstanding count is
         untouched, but the delay metrics and free memory move."""
         rid = replica.replica_id
-        for name in (PROJECTED_DELAY.name, PREDICTED_DELAY.name, FREE_MEMORY.name):
+        for name in (
+            PROJECTED_DELAY.name,
+            PREDICTED_DELAY.name,
+            FREE_MEMORY.name,
+            ENERGY_COST.name,
+        ):
             m = self._metrics[name]
             m.dirty.add(rid)
             m.cache = None

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.metrics.counters import FaultCounters
+from repro.metrics.latency import percentile
 from repro.metrics.summary import format_table
 
 
@@ -60,11 +61,20 @@ def aggregate_fault_counters(replicas) -> FaultCounters:
 
 
 class ClusterStats:
-    """Snapshot of a cluster's per-replica and aggregate state."""
+    """Snapshot of a cluster's per-replica and aggregate state.
+
+    On a heterogeneous fleet (replicas carrying a ``device_class``),
+    ``by_class`` additionally breaks the fleet down per device class —
+    replica counts, routed/finished tallies, the p99 over finished shadow
+    latencies and the class's integrated joules — so energy experiments
+    can read the replica-mix economics off one snapshot instead of only
+    fleet-wide totals.  Empty for homogeneous clusters."""
 
     def __init__(self, cluster):
         self.cluster = cluster
         self.rows: List[List[str]] = []
+        self.by_class: Dict[str, Dict[str, float]] = {}
+        self.total_joules = 0.0
         for replica in cluster.replicas:
             server = replica.server
             self.rows.append(
@@ -79,6 +89,31 @@ class ClusterStats:
                     f"{replica.ewma_latency * 1e3:.2f}",
                 ]
             )
+            self.total_joules += replica.energy_joules()
+            if replica.device_class is None:
+                continue
+            entry = self.by_class.setdefault(
+                replica.device_class,
+                {
+                    "replicas": 0,
+                    "routed": 0,
+                    "finished": 0,
+                    "p99_ms": 0.0,
+                    "joules": 0.0,
+                    "_latencies": [],
+                },
+            )
+            entry["replicas"] += 1
+            entry["routed"] += replica.routed
+            entry["finished"] += len(server.finished)
+            entry["joules"] += replica.energy_joules()
+            entry["_latencies"].extend(
+                r.finish_time - r.arrival_time for r in server.finished
+            )
+        for entry in self.by_class.values():
+            latencies = entry.pop("_latencies")
+            if latencies:
+                entry["p99_ms"] = percentile(latencies, 99.0) * 1e3
 
     def report(self) -> str:
         lines = [
@@ -92,6 +127,25 @@ class ClusterStats:
                 self.rows,
             ),
         ]
+        if self.by_class:
+            lines.append(
+                format_table(
+                    ["class", "replicas", "routed", "finished", "p99 ms", "joules"],
+                    [
+                        [
+                            name,
+                            str(int(entry["replicas"])),
+                            str(int(entry["routed"])),
+                            str(int(entry["finished"])),
+                            f"{entry['p99_ms']:.2f}",
+                            f"{entry['joules']:.2f}",
+                        ]
+                        for name, entry in sorted(self.by_class.items())
+                    ],
+                )
+            )
+        if self.total_joules > 0:
+            lines.append(f"energy: {self.total_joules:.2f} J integrated")
         cluster_counts = self.cluster.cluster_counters.as_dict()
         if any(cluster_counts.values()):
             lines.append(

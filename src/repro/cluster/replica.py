@@ -73,6 +73,14 @@ class Replica:
         # completion instant turns finish times into inter-completion gaps.
         self.predictor = None
         self._last_finish: Optional[float] = None
+        # Heterogeneous-fleet identity (repro.registry ClusterSpec
+        # ``device_classes``): the class name, its rank in declaration
+        # order (0 = first declared; class-affinity routing maps length
+        # buckets onto ranks) and the uniform cost-model slowdown applied
+        # at build time.  Defaults describe a homogeneous cluster.
+        self.device_class: Optional[str] = None
+        self.class_rank = 0
+        self.latency_scale = 1.0
 
     # -- routing interface ----------------------------------------------------
 
@@ -154,6 +162,34 @@ class Replica:
                 return float("inf")
             total += memory.free()
         return float(total)
+
+    def energy_cost(self) -> float:
+        """Estimated marginal joules to serve one cell on this replica:
+        the cheapest alive device's dynamic power times the engine's EWMA
+        per-node service time (power x time = energy).  Zero for engines
+        without an energy model (no ``EnergySpec`` — every replica ties at
+        0.0 and the ``cheapest_energy`` metric is inert, exactly like the
+        free-memory metric without a MemorySpec); infinite for an
+        energy-modelled engine with no alive device.  Event-driven: both
+        factors move only on task completion or a batch-boundary DVFS
+        change, and both paths fire ``on_load_changed``."""
+        manager = getattr(self.server, "manager", None)
+        if manager is None or getattr(manager, "energy_spec", None) is None:
+            return 0.0
+        watts = [
+            worker.device.energy.dynamic_watts
+            for worker in manager.workers
+            if worker.alive and worker.device.energy is not None
+        ]
+        if not watts:
+            return float("inf")
+        return min(watts) * manager._node_time_estimate
+
+    def energy_joules(self) -> float:
+        """Integrated joules on this replica's engine (0.0 without an
+        energy model)."""
+        joules = getattr(self.server, "energy_joules", None)
+        return joules() if joules is not None else 0.0
 
     def predicted_delay(self) -> float:
         """Predicted seconds until a request newly routed here completes:

@@ -282,6 +282,40 @@ class MostFreeMemoryRouter(RoutingPolicy):
         return self._best(request, candidates, lambda r: -r.free_memory())
 
 
+class CheapestEnergyRouter(RoutingPolicy):
+    """Send to the replica with the cheapest estimated marginal joules —
+    the routing arm of energy-aware serving (DESIGN.md §17).  A replica's
+    key is its cheapest alive device's dynamic power times its EWMA
+    per-node service time, so a fleet mixing device classes (or DVFS
+    states) steers work toward low-power replicas until their queues push
+    the delay-side cost up.  Replicas without an energy model report 0.0:
+    they all tie and the seeded tie-break degrades this to uniform
+    routing (the free-memory inertness pattern)."""
+
+    name = "cheapest_energy"
+    metric = "energy_cost"
+
+    def choose(self, request, candidates):
+        # Same inlined clean-cache hit as LeastOutstandingRouter; the
+        # energy-cost key is event-driven (never volatile) — both factors
+        # move only on task completion or a batch-boundary DVFS change.
+        self.decisions += 1
+        m = self._mindex
+        if m is not None:
+            tied = m.hot
+            if tied is not None and candidates is m.hot_pool:
+                self._stats.cached_queries += 1
+                if len(tied) == 1:
+                    return tied[0]
+                x = (self._tie_premix + request.request_id) & 0xFFFFFFFFFFFFFFFF
+                x ^= x >> 31
+                return tied[x % len(tied)]
+        return self._choose(request, candidates)
+
+    def _choose(self, request, candidates):
+        return self._best(request, candidates, lambda r: r.energy_cost())
+
+
 class LengthBucketedRouter(RoutingPolicy):
     """Send similar-length requests to the same replica.
 
@@ -306,13 +340,48 @@ class LengthBucketedRouter(RoutingPolicy):
         return candidates[bucket % len(candidates)]
 
 
+class ClassAffinityRouter(RoutingPolicy):
+    """Length-bucketed routing that respects heterogeneous device classes.
+
+    Each candidate carries the ``class_rank`` its replica was built with
+    (declaration order in the cluster spec's ``device_classes``; 0 for a
+    homogeneous fleet).  The request's length bucket indexes the sorted
+    distinct ranks present among the candidates — bucket 0 lands on the
+    first-declared class, bucket 1 on the second, and buckets past the
+    last class saturate there.  Declare the cheap/slow class first and
+    short requests stay on it while long ones graduate to the fast
+    expensive class.  Within the chosen class, ``bucket % group size``
+    keeps similar lengths together (the length-bucketed property).
+    Deterministic with no ties: a pure function of the payload length and
+    the candidates' class ranks.  On a homogeneous fleet every candidate
+    has rank 0 and this degrades to :class:`LengthBucketedRouter`.
+    """
+
+    name = "class_affinity"
+
+    def __init__(self, seed: int = 0, bucket_width: int = 16, fast_path: bool = True):
+        super().__init__(seed, fast_path=fast_path)
+        if bucket_width < 1:
+            raise ValueError("bucket_width must be >= 1")
+        self.bucket_width = int(bucket_width)
+
+    def _choose(self, request, candidates):
+        bucket = payload_length(request.payload) // self.bucket_width
+        ranks = sorted({replica.class_rank for replica in candidates})
+        rank = ranks[min(bucket, len(ranks) - 1)]
+        group = [r for r in candidates if r.class_rank == rank]
+        return group[bucket % len(group)]
+
+
 ROUTERS: Dict[str, Type[RoutingPolicy]] = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastOutstandingRouter.name: LeastOutstandingRouter,
     ShortestQueueRouter.name: ShortestQueueRouter,
     PredictedDelayRouter.name: PredictedDelayRouter,
     MostFreeMemoryRouter.name: MostFreeMemoryRouter,
+    CheapestEnergyRouter.name: CheapestEnergyRouter,
     LengthBucketedRouter.name: LengthBucketedRouter,
+    ClassAffinityRouter.name: ClassAffinityRouter,
 }
 
 

@@ -56,6 +56,11 @@ class BatchMakerServer(InferenceServer):
         weight residency and per-subgraph state footprint (DESIGN.md §15).
         None (the default) keeps the time-only device model bit-identical
         to the pre-memory engine.
+    energy:
+        Optional :class:`~repro.gpu.EnergySpec`: per-device joule
+        accounting (idle + active power) and the DVFS governor over the
+        spec's frequency states (DESIGN.md §17).  None (the default) keeps
+        the energy-blind engine bit-identical.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class BatchMakerServer(InferenceServer):
         sla=None,
         policies=None,
         memory=None,
+        energy=None,
     ):
         super().__init__(ensure_loop(loop), name)
         if cost_model is None:
@@ -91,6 +97,7 @@ class BatchMakerServer(InferenceServer):
             on_request_rejected=self._request_rejected,
             policies=policies,
             memory=memory,
+            energy=energy,
         )
         self.policies = self.manager.policies
         self._autotrace()
@@ -142,3 +149,7 @@ class BatchMakerServer(InferenceServer):
     def fault_counters(self):
         """The manager's :class:`~repro.metrics.FaultCounters`."""
         return self.manager.fault_counters
+
+    def energy_joules(self) -> float:
+        """Integrated fleet energy so far (0.0 without an energy spec)."""
+        return self.manager.total_energy_joules()

@@ -37,6 +37,7 @@ from repro.faults.plan import FaultPlan, KERNEL_FAIL, STRAGGLER
 from repro.faults.sla import RetryPolicy, SLAConfig
 from repro.gpu.costmodel import CostModel
 from repro.gpu.device import make_devices
+from repro.gpu.energy import EnergyModel, EnergySpec, make_governor
 from repro.gpu.memory import MemoryModel, MemorySpec
 from repro.metrics.counters import FaultCounters
 from repro.policies import PolicyBundle
@@ -66,6 +67,7 @@ class Manager:
         on_request_rejected: Optional[Callable[[InferenceRequest], None]] = None,
         policies: Optional[PolicyBundle] = None,
         memory: Optional[MemorySpec] = None,
+        energy: Optional[EnergySpec] = None,
     ):
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -105,6 +107,10 @@ class Manager:
         # its attach_engine to shed arrivals at the front door.
         self.memory_spec = memory
         self.memory_admission = None
+        # Joule accounting + DVFS (repro.gpu.energy); None skips every
+        # energy branch below, keeping runs bit-identical to the
+        # energy-blind engine.
+        self.energy_spec = energy
 
         self.policies = (
             policies if policies is not None else PolicyBundle.from_config(config)
@@ -141,6 +147,28 @@ class Manager:
         if self.memory_spec is not None:
             for worker in self.workers:
                 worker.device.memory = MemoryModel.from_spec(self.memory_spec)
+        if self.energy_spec is not None:
+            # One scaled cost model per DVFS state: kernel time goes as 1/f
+            # relative to the calibrated table (tables carry ``@x`` names so
+            # traces stay attributable), precomputed so a frequency change
+            # is a pointer swap at the batch boundary.
+            self._freq_cost_models = {
+                f: cost_model if f == 1.0 else cost_model.scaled(1.0 / f)
+                for f in self.energy_spec.frequencies
+            }
+            self._governors = {}
+            now = loop.now()
+            for worker in self.workers:
+                worker.device.energy = EnergyModel.from_spec(
+                    self.energy_spec, start_time=now
+                )
+                governor = make_governor(
+                    self.energy_spec.governor,
+                    self.energy_spec.frequencies,
+                    **self.energy_spec.governor_params,
+                )
+                self._governors[worker.worker_id] = governor
+                self._apply_frequency(worker, governor.initial_frequency())
         # Tracing scope (repro.trace), pushed down by the owning server's
         # attach_trace; None = record nothing (the zero-cost default).
         self.trace = None
@@ -261,6 +289,12 @@ class Manager:
     # -- scheduler -> worker -------------------------------------------------
 
     def _submit_task(self, task: BatchedTask, worker: Worker) -> None:
+        if self.energy_spec is not None:
+            # DVFS decisions happen only here, at the batch boundary, so
+            # the schedule stays deterministic and the energy-off fast path
+            # stays bit-identical (this branch is never taken without a
+            # spec).  Retries reuse whatever frequency is then in effect.
+            self._govern_frequency(worker)
         extra = self._migration_cost(task, worker)
         if self.memory_spec is not None:
             self._reserve_for_task(task, worker)
@@ -285,6 +319,53 @@ class Manager:
         """Cross-device copy cost (placement policy) — zero under pinning,
         which is the point of pinning."""
         return self.policies.placement.migration_cost(task, worker)
+
+    # -- energy accounting and DVFS (DESIGN.md §17) --------------------------
+
+    def _govern_frequency(self, worker: Worker) -> None:
+        """Let the worker's governor re-pick its DVFS state (batch boundary
+        only).  A change swaps in the precomputed frequency-scaled cost
+        model and re-rates the device's dynamic power; a trace instant
+        carries the scaled table names so Chrome traces show which clock
+        each kernel ran at."""
+        governor = self._governors[worker.worker_id]
+        frequency = governor.decide(self.loop.now(), worker.busy_time)
+        if frequency != worker.device.energy.frequency:
+            self._apply_frequency(worker, frequency)
+            if self.trace is not None:
+                self.trace.instant(
+                    trace_events.DVFS_FREQUENCY,
+                    trace_events.SCHED,
+                    device_id=worker.worker_id,
+                    args={
+                        "frequency": frequency,
+                        "tables": sorted(
+                            t.name
+                            for t in worker.cost_model.tables().values()
+                        ),
+                    },
+                )
+
+    def _apply_frequency(self, worker: Worker, frequency: float) -> None:
+        worker.cost_model = self._freq_cost_models[frequency]
+        worker.device.energy.set_frequency(frequency)
+
+    def total_energy_joules(self) -> float:
+        """Integrated energy across alive devices at the current sim time
+        (active charges plus idle power; 0.0 without an energy spec)."""
+        if self.energy_spec is None:
+            return 0.0
+        now = self.loop.now()
+        total = 0.0
+        for worker in self.workers:
+            model = worker.device.energy
+            if model is None or not worker.alive:
+                continue
+            busy = worker.device.timeline.busy_time(
+                since=model.start_time, until=now
+            )
+            total += model.integrated_joules(now, busy)
+        return total
 
     # -- memory accounting (DESIGN.md §15) -----------------------------------
 

@@ -31,23 +31,35 @@ class ServerStats:
         self.timed_out_requests = len(getattr(server, "timed_out", ()))
         self.rejected_requests = len(getattr(server, "rejected", ()))
         now = manager.loop.now()
+        self.energy_enabled = getattr(manager, "energy_spec", None) is not None
+        self.total_joules = 0.0
         self.workers = []
         for worker in manager.workers:
             busy = worker.device.timeline.busy_time(until=now)
-            self.workers.append(
-                {
-                    "worker_id": worker.worker_id,
-                    "tasks": worker.tasks_executed,
-                    "busy_time": busy,
-                    "utilization": busy / now if now > 0 else 0.0,
-                    "gathers": worker.gathers_performed,
-                    "gather_rate": (
-                        worker.gathers_performed / worker.tasks_executed
-                        if worker.tasks_executed
-                        else 0.0
-                    ),
-                }
-            )
+            row = {
+                "worker_id": worker.worker_id,
+                "tasks": worker.tasks_executed,
+                "busy_time": busy,
+                "utilization": busy / now if now > 0 else 0.0,
+                "gathers": worker.gathers_performed,
+                "gather_rate": (
+                    worker.gathers_performed / worker.tasks_executed
+                    if worker.tasks_executed
+                    else 0.0
+                ),
+            }
+            energy = worker.device.energy
+            if energy is not None:
+                window_busy = worker.device.timeline.busy_time(
+                    since=energy.start_time, until=now
+                )
+                joules = energy.integrated_joules(now, window_busy)
+                row["joules"] = joules
+                row["active_joules"] = energy.active_joules
+                row["frequency"] = energy.frequency
+                if worker.alive:
+                    self.total_joules += joules
+            self.workers.append(row)
         self.latency: Optional[LatencyStats] = None
         if server.finished:
             self.latency = LatencyStats().extend(server.finished)
@@ -87,21 +99,27 @@ class ServerStats:
             f"(mean batch {self.mean_batch_size():.1f}, "
             f"cell-weighted p50 batch {self.batch_size_percentile(50)})"
         )
-        rows = [
-            [
+        headers = ["worker", "tasks", "busy ms", "utilization", "gather rate"]
+        if self.energy_enabled:
+            headers += ["joules", "freq"]
+        rows = []
+        for w in self.workers:
+            row = [
                 f"gpu{w['worker_id']}",
                 str(w["tasks"]),
                 f"{w['busy_time'] * 1e3:.1f}",
                 f"{w['utilization']:.0%}",
                 f"{w['gather_rate']:.0%}",
             ]
-            for w in self.workers
-        ]
-        lines.append(
-            format_table(
-                ["worker", "tasks", "busy ms", "utilization", "gather rate"], rows
-            )
-        )
+            if self.energy_enabled:
+                row += [
+                    f"{w.get('joules', 0.0):.2f}",
+                    f"{w.get('frequency', 0.0):g}x",
+                ]
+            rows.append(row)
+        lines.append(format_table(headers, rows))
+        if self.energy_enabled:
+            lines.append(f"energy: {self.total_joules:.2f} J integrated")
         if self.latency is not None:
             lines.append(
                 "latency ms: "

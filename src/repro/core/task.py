@@ -48,6 +48,9 @@ class BatchedTask:
         # consumed by the critical-path trace attribution).
         self.gather_time = 0.0
         self.migration_time = 0.0
+        # Joules charged for the most recent execution attempt (set by the
+        # worker when the device has an EnergyModel; 0.0 otherwise).
+        self.energy_joules = 0.0
         # Retry bookkeeping: 0 for the original submission, incremented by
         # the manager for each re-submission after a failed execution.
         self.attempt = 0

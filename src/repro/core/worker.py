@@ -105,6 +105,15 @@ class Worker:
         if fault is not None and fault.kind == STRAGGLER:
             duration *= fault.slowdown
         task.duration = duration
+        if self.device.energy is not None:
+            # Charge the batched kernel at the frequency in effect now;
+            # stragglers and gather/migration copies burn power too, so the
+            # final wall duration is the right integrand.  Joules split
+            # evenly across the task's distinct member requests.
+            task.energy_joules = self.device.energy.charge_task(
+                duration,
+                [sg.request.request_id for sg in task.subgraphs()],
+            )
         self.outstanding += 1
         self._inflight[task.task_id] = task
         on_retire = (

@@ -28,6 +28,7 @@ from repro.experiments import (
     fig14_treelstm,
     fig15_fixed_tree,
     fig_cluster,
+    fig_energy,
     fig_faults,
     fig_memory,
     fig_slo,
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Callable[..., dict]] = {
     "fig14": fig14_treelstm.main,
     "fig15": fig15_fixed_tree.main,
     "fig_cluster": fig_cluster.main,
+    "fig_energy": fig_energy.main,
     "fig_faults": fig_faults.main,
     "fig_memory": fig_memory.main,
     "fig_slo": fig_slo.main,

@@ -15,24 +15,33 @@ discrete-event model of those devices:
 """
 
 from repro.gpu.costmodel import (
+    NAMED_TABLES,
     CostModel,
     LatencyTable,
     cpu_lstm_step_table,
+    make_table,
     seq2seq_decoder_step_table,
     tree_internal_step_table,
     tree_leaf_step_table,
     v100_lstm_step_table,
 )
 from repro.gpu.device import DeviceTimeline, GPUDevice, make_devices
+from repro.gpu.energy import GOVERNORS, EnergyModel, EnergySpec, make_governor
 from repro.gpu.memory import DEFAULT_STATE_BYTES, MemoryModel, MemorySpec
 from repro.gpu.kernel import Kernel, SignalKernel
 
 __all__ = [
     "CostModel",
     "LatencyTable",
+    "NAMED_TABLES",
+    "make_table",
     "GPUDevice",
     "DeviceTimeline",
     "make_devices",
+    "EnergyModel",
+    "EnergySpec",
+    "GOVERNORS",
+    "make_governor",
     "MemoryModel",
     "MemorySpec",
     "DEFAULT_STATE_BYTES",

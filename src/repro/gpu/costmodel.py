@@ -76,13 +76,19 @@ class LatencyTable:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def scale(self, factor: float, name: Optional[str] = None) -> "LatencyTable":
-        """A table with every anchor time multiplied by ``factor``."""
+        """A table with every anchor time multiplied by ``factor``.
+
+        Derived tables default to the structured name ``{base}@x{factor}``
+        (e.g. ``v100-lstm-step-h1024@x1.25`` for a DVFS state at 0.8x
+        clock), so frequency-scaled tables stay distinguishable in Chrome
+        traces and bench output.
+        """
         if factor <= 0:
             raise ValueError("scale factor must be positive")
         anchors = {
             b: (t / _US) * factor for b, t in zip(self._batches, self._times)
         }
-        return LatencyTable(anchors, name or f"{self.name}*{factor:g}")
+        return LatencyTable(anchors, name or f"{self.name}@x{factor:g}")
 
     def anchors(self) -> Tuple[Tuple[int, float], ...]:
         """The (batch, seconds) anchor points, for inspection and tests."""
@@ -177,6 +183,30 @@ def tree_internal_step_table() -> LatencyTable:
     return v100_lstm_step_table().scale(2.3, name="v100-tree-internal-step")
 
 
+# Named table factories, addressable from declarative specs (heterogeneous
+# device classes in ClusterSpec reference these by name to re-calibrate a
+# replica's cells, e.g. {"tables": {"lstm": "cpu_lstm_step"}}).
+NAMED_TABLES = {
+    "v100_lstm_step": v100_lstm_step_table,
+    "cpu_lstm_step": cpu_lstm_step_table,
+    "seq2seq_decoder_step": seq2seq_decoder_step_table,
+    "tree_leaf_step": tree_leaf_step_table,
+    "tree_internal_step": tree_internal_step_table,
+}
+
+
+def make_table(name: str) -> LatencyTable:
+    """Build a latency table registered in :data:`NAMED_TABLES`."""
+    try:
+        factory = NAMED_TABLES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown latency table {name!r}; expected one of "
+            f"{sorted(NAMED_TABLES)}"
+        ) from None
+    return factory()
+
+
 class CostModel:
     """Maps cell-type names to latency tables, plus serving overheads.
 
@@ -216,6 +246,27 @@ class CostModel:
 
     def register(self, cell_name: str, table: LatencyTable) -> None:
         self._tables[cell_name] = table
+
+    def tables(self) -> Dict[str, LatencyTable]:
+        """The registered ``{cell name: table}`` map (a copy)."""
+        return dict(self._tables)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A model with every table's times multiplied by ``factor``.
+
+        Used for DVFS states (relative frequency ``f`` scales kernel time
+        by ``1/f``) and for heterogeneous device classes declared as a
+        uniform slowdown of the calibrated model.  Scaled tables carry the
+        structured ``{base}@x{factor}`` names from :meth:`LatencyTable.scale`;
+        overheads are unscaled (dispatch cost is host-side, not clocked by
+        the accelerator).
+        """
+        return CostModel(
+            {cell: table.scale(factor) for cell, table in self._tables.items()},
+            per_task_overhead=self.per_task_overhead,
+            gather_overhead=self.gather_overhead,
+            launch_gap=self.launch_gap,
+        )
 
     def table_for(self, cell_name: str) -> LatencyTable:
         if cell_name not in self._tables:

@@ -92,6 +92,9 @@ class GPUDevice:
         # Byte accounting (repro.gpu.memory.MemoryModel); None keeps the
         # historical time-only device model.
         self.memory = None
+        # Joule accounting (repro.gpu.energy.EnergyModel); None keeps the
+        # energy-blind device model.
+        self.energy = None
         # Signal events scheduled for not-yet-retired kernels; cancelled en
         # masse when the device dies (fired events are pruned lazily).
         self._pending_signals: List[Event] = []
@@ -142,6 +145,8 @@ class GPUDevice:
         self._free_at = now
         if self.memory is not None:
             self.memory.reset()
+        if self.energy is not None:
+            self.energy.reset(now)
         return cancelled
 
     def run_for(self, duration: float, on_complete=None, tag: Any = None) -> float:

@@ -1,0 +1,450 @@
+"""Per-device energy accounting and DVFS governors.
+
+The paper's cellular batching keeps GPUs busy with fused batches but never
+asks what that costs in joules.  E-BATCH (PAPERS.md) shows the batching
+policy directly trades energy per inference against latency via batch size
+and core frequency.  This module adds the bookkeeping half of that trade:
+
+``EnergySpec``
+    A JSON-round-trippable value object (peer to ``gpu.memory.MemorySpec``)
+    describing a device's power envelope: idle/static watts, active watts at
+    nominal frequency, the discrete DVFS frequency states available, the
+    superlinear dynamic-power exponent, and which governor runs the knob.
+
+``EnergyModel``
+    Strict per-device accounting attached to ``GPUDevice.energy`` (peer to
+    ``GPUDevice.memory``).  Active energy is charged per batched kernel at
+    submission — duration x dynamic watts at the frequency then in effect —
+    and attributed evenly across the task's distinct member requests.  Idle
+    energy is integrated against the device timeline at read time.  The
+    invariant (asserted in chaos tests): attributed + unattributed active
+    joules telescope to the active total within 1e-9, and integrated energy
+    is exactly active + idle.
+
+Governors (``GOVERNORS``)
+    Pluggable per-worker frequency policies.  Decisions happen only at
+    batch boundaries (``Manager._submit_task``) so the engine stays
+    deterministic and the fast path stays bit-identical when energy is off.
+    ``fixed`` pins one state; ``race_to_idle`` runs a time-weighted
+    utilization EWMA and races at max frequency under load, dropping to
+    the lowest state when the device goes quiet; ``headroom`` picks the
+    slowest state that keeps the busy fraction under a target — the
+    energy-optimal stable policy under superlinear dynamic power.
+
+Physics convention: frequencies are relative to the calibrated table
+(1.0 = the table's native clock).  Kernel time scales as 1/f (the manager
+swaps in ``LatencyTable.scale(1/f)`` tables, named ``{base}@x{factor}``)
+and dynamic power as f**power_exponent (default cubic, the classical CMOS
+``C V^2 f`` with voltage tracking frequency).  Net: energy per kernel goes
+as f**(power_exponent - 1) — lower states trade latency for joules, which
+is what makes the energy-vs-p99 Pareto frontier in ``fig_energy`` nontrivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+DEFAULT_IDLE_WATTS = 50.0
+DEFAULT_ACTIVE_WATTS = 250.0
+DEFAULT_POWER_EXPONENT = 3.0
+
+
+class EnergySpec:
+    """Declarative power envelope for a device class.
+
+    Parameters
+    ----------
+    idle_watts:
+        Static draw while the device exists, busy or not (>= 0).
+    active_watts:
+        Dynamic draw while a kernel runs at relative frequency 1.0 (> 0).
+    frequencies:
+        Discrete DVFS states, relative to the calibrated latency table
+        (1.0 = native clock).  Sorted ascending, deduplicated; every state
+        must be positive.
+    governor:
+        Name in ``GOVERNORS`` ("fixed", "race_to_idle" or "headroom").
+    governor_params:
+        Keyword arguments forwarded to the governor constructor.
+    power_exponent:
+        Dynamic power scales as ``f ** power_exponent`` (>= 1).
+    """
+
+    def __init__(
+        self,
+        idle_watts: float = DEFAULT_IDLE_WATTS,
+        active_watts: float = DEFAULT_ACTIVE_WATTS,
+        frequencies: Sequence[float] = (1.0,),
+        governor: str = "fixed",
+        governor_params: Optional[Dict] = None,
+        power_exponent: float = DEFAULT_POWER_EXPONENT,
+    ):
+        if idle_watts < 0:
+            raise ValueError(f"idle_watts must be >= 0, got {idle_watts}")
+        if active_watts <= 0:
+            raise ValueError(f"active_watts must be > 0, got {active_watts}")
+        freqs = tuple(sorted(set(float(f) for f in frequencies)))
+        if not freqs:
+            raise ValueError("frequencies must be non-empty")
+        if freqs[0] <= 0:
+            raise ValueError(f"frequencies must be positive, got {freqs[0]}")
+        if governor not in GOVERNORS:
+            raise ValueError(
+                f"unknown governor {governor!r}; expected one of "
+                f"{sorted(GOVERNORS)}"
+            )
+        if power_exponent < 1:
+            raise ValueError(
+                f"power_exponent must be >= 1, got {power_exponent}"
+            )
+        self.idle_watts = float(idle_watts)
+        self.active_watts = float(active_watts)
+        self.frequencies: Tuple[float, ...] = freqs
+        self.governor = governor
+        self.governor_params = dict(governor_params or {})
+        self.power_exponent = float(power_exponent)
+        # Fail fast on bad governor params (e.g. a fixed frequency outside
+        # the state set) instead of at first batch boundary.
+        make_governor(governor, freqs, **self.governor_params)
+
+    def to_dict(self) -> Dict:
+        data: Dict = {
+            "idle_watts": self.idle_watts,
+            "active_watts": self.active_watts,
+            "frequencies": list(self.frequencies),
+            "governor": self.governor,
+            "power_exponent": self.power_exponent,
+        }
+        if self.governor_params:
+            data["governor_params"] = dict(self.governor_params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EnergySpec":
+        return cls(
+            idle_watts=data.get("idle_watts", DEFAULT_IDLE_WATTS),
+            active_watts=data.get("active_watts", DEFAULT_ACTIVE_WATTS),
+            frequencies=data.get("frequencies", (1.0,)),
+            governor=data.get("governor", "fixed"),
+            governor_params=data.get("governor_params"),
+            power_exponent=data.get("power_exponent", DEFAULT_POWER_EXPONENT),
+        )
+
+    def replace(self, **changes) -> "EnergySpec":
+        data = self.to_dict()
+        for key, value in changes.items():
+            if value is None:
+                data.pop(key, None)
+            else:
+                data[key] = value
+        return EnergySpec.from_dict(data)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, EnergySpec) and self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"EnergySpec(idle_watts={self.idle_watts:g}, "
+            f"active_watts={self.active_watts:g}, "
+            f"frequencies={list(self.frequencies)}, "
+            f"governor={self.governor!r})"
+        )
+
+
+class EnergyModel:
+    """Joule accounting for one device.
+
+    Active energy is charged per task via :meth:`charge_task`; idle energy
+    is derived at read time from the wall-clock span minus the device's
+    busy time (the caller supplies busy time from the device timeline so
+    this class stays clock-free).  ``reset(now)`` zeroes the books when a
+    device dies — a replacement device starts a fresh integration window,
+    exactly like ``MemoryModel.reset()``.
+    """
+
+    def __init__(
+        self,
+        idle_watts: float = DEFAULT_IDLE_WATTS,
+        active_watts: float = DEFAULT_ACTIVE_WATTS,
+        power_exponent: float = DEFAULT_POWER_EXPONENT,
+        frequency: float = 1.0,
+        start_time: float = 0.0,
+    ):
+        if frequency <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency}")
+        self.idle_watts = float(idle_watts)
+        self.active_watts = float(active_watts)
+        self.power_exponent = float(power_exponent)
+        self.frequency = float(frequency)
+        self.start_time = float(start_time)
+        self.active_joules = 0.0
+        self.unattributed_joules = 0.0
+        self.tasks_charged = 0
+        self.frequency_changes = 0
+        self._per_request: Dict[int, float] = {}
+        self._attributed = 0.0
+
+    @classmethod
+    def from_spec(cls, spec: EnergySpec, start_time: float = 0.0) -> "EnergyModel":
+        return cls(
+            idle_watts=spec.idle_watts,
+            active_watts=spec.active_watts,
+            power_exponent=spec.power_exponent,
+            frequency=spec.frequencies[-1],
+            start_time=start_time,
+        )
+
+    @property
+    def dynamic_watts(self) -> float:
+        """Active power draw at the current frequency."""
+        return self.active_watts * self.frequency**self.power_exponent
+
+    def set_frequency(self, frequency: float) -> None:
+        if frequency <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency}")
+        if frequency != self.frequency:
+            self.frequency = float(frequency)
+            self.frequency_changes += 1
+
+    def charge_task(self, duration: float, request_ids: Iterable[int]) -> float:
+        """Charge one batched kernel, splitting joules across its requests.
+
+        ``duration`` is the task's final wall duration (stragglers and
+        gather/migration overheads included — they burn power too).
+        Returns the joules charged.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        joules = duration * self.dynamic_watts
+        self.active_joules += joules
+        self.tasks_charged += 1
+        ids = list(request_ids)
+        if ids:
+            share = joules / len(ids)
+            per_request = self._per_request
+            for request_id in ids:
+                per_request[request_id] = per_request.get(request_id, 0.0) + share
+            self._attributed += joules
+        else:
+            self.unattributed_joules += joules
+        return joules
+
+    def request_joules(self, request_id: int) -> float:
+        return self._per_request.get(request_id, 0.0)
+
+    def per_request_joules(self) -> Dict[int, float]:
+        return dict(self._per_request)
+
+    def attributed_joules(self) -> float:
+        """Running total of joules attributed to specific requests."""
+        return self._attributed
+
+    def idle_joules(self, now: float, busy_time: float) -> float:
+        """Static energy: idle watts over the non-busy span since start."""
+        span = max(0.0, now - self.start_time)
+        return self.idle_watts * max(0.0, span - busy_time)
+
+    def integrated_joules(self, now: float, busy_time: float) -> float:
+        """Total device energy: active charges plus integrated idle power."""
+        return self.active_joules + self.idle_joules(now, busy_time)
+
+    def reset(self, now: float) -> None:
+        """Forget everything; the next integration window starts at ``now``.
+
+        Called when the device dies: a replacement board starts cold, and
+        the old board's books stop (energy already spent on doomed work is
+        intentionally dropped, mirroring ``MemoryModel.reset()``).
+        """
+        self.start_time = float(now)
+        self.active_joules = 0.0
+        self.unattributed_joules = 0.0
+        self.tasks_charged = 0
+        self._per_request.clear()
+        self._attributed = 0.0
+
+
+class FixedGovernor:
+    """Pin one frequency state forever (default: the highest)."""
+
+    name = "fixed"
+
+    def __init__(self, frequencies: Sequence[float], frequency: Optional[float] = None):
+        freqs = tuple(frequencies)
+        if frequency is None:
+            frequency = freqs[-1]
+        if frequency not in freqs:
+            raise ValueError(
+                f"fixed governor frequency {frequency} not in states {list(freqs)}"
+            )
+        self.frequency = float(frequency)
+
+    def initial_frequency(self) -> float:
+        return self.frequency
+
+    def decide(self, now: float, busy_time: float) -> float:
+        return self.frequency
+
+
+class _UtilizationEWMA:
+    """Time-weighted EWMA of the device's busy fraction.
+
+    Batch-boundary decisions cluster during bursts: dozens of samples
+    with busy fraction ~1 arrive back to back, while the long idle gap
+    before the next burst contributes exactly *one* sample.  A
+    constant-alpha EWMA therefore pins near 1 regardless of the true
+    duty cycle.  Weighting each sample by the wall time it spans —
+    ``w = wall / (wall + tau)`` — makes the estimate converge to the
+    true time-averaged busy fraction: a 50 ms idle gap outweighs fifty
+    0.2 ms burst samples, as it should.
+    """
+
+    def __init__(self, tau: float):
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = float(tau)
+        self.utilization = 0.0
+        self._last_now: Optional[float] = None
+        self._last_busy = 0.0
+
+    def observe(self, now: float, busy_time: float, scale: float = 1.0) -> float:
+        """Fold the window since the previous call into the estimate.
+
+        ``scale`` multiplies this window's busy fraction before folding —
+        the headroom governor normalises each window by the clock it ran
+        at (a per-window property, so it cannot be applied to the
+        cumulative ``busy_time`` counter)."""
+        if self._last_now is None:
+            self._last_now = now
+            self._last_busy = busy_time
+            return self.utilization
+        wall = now - self._last_now
+        if wall > 0:
+            used = min(1.0, max(0.0, (busy_time - self._last_busy) / wall)) * scale
+            weight = wall / (wall + self.tau)
+            self.utilization += weight * (used - self.utilization)
+            self._last_now = now
+            self._last_busy = busy_time
+        return self.utilization
+
+
+class RaceToIdleGovernor:
+    """Utilization-EWMA race-to-idle.
+
+    Above ``high`` it races at the top state (finish fast, then idle);
+    below ``low`` it drops to the bottom state (the device is mostly
+    idle anyway, so stretch the rare kernels and save
+    ``f**(power_exponent-1)`` per joule); in between it holds the
+    current state (hysteresis, so the knob doesn't chatter).  Decisions
+    are a pure function of (now, cumulative busy time), so runs stay
+    seed-deterministic.
+    """
+
+    name = "race_to_idle"
+
+    def __init__(
+        self,
+        frequencies: Sequence[float],
+        tau: float = 10e-3,
+        low: float = 0.25,
+        high: float = 0.75,
+    ):
+        if not 0 <= low < high <= 1:
+            raise ValueError(
+                f"need 0 <= low < high <= 1, got low={low} high={high}"
+            )
+        freqs = tuple(frequencies)
+        self.min_frequency = freqs[0]
+        self.max_frequency = freqs[-1]
+        self.low = float(low)
+        self.high = float(high)
+        self._ewma = _UtilizationEWMA(tau)
+        self._frequency = freqs[-1]
+
+    @property
+    def utilization(self) -> float:
+        return self._ewma.utilization
+
+    def initial_frequency(self) -> float:
+        return self._frequency
+
+    def decide(self, now: float, busy_time: float) -> float:
+        utilization = self._ewma.observe(now, busy_time)
+        if utilization >= self.high:
+            self._frequency = self.max_frequency
+        elif utilization <= self.low:
+            self._frequency = self.min_frequency
+        return self._frequency
+
+
+class HeadroomGovernor:
+    """Stretch kernels into the utilization headroom.
+
+    With superlinear dynamic power, energy per kernel falls as
+    ``f**(power_exponent-1)`` — so the energy-optimal stable policy is
+    the *slowest* state that still keeps the device's busy fraction
+    under ``target`` (queues stay stable, latency grows by at most the
+    clock ratio).  The governor tracks a frequency-normalised demand
+    estimate (busy fraction x current clock, i.e. the busy fraction the
+    workload would produce at the top state) and picks, each batch
+    boundary, the lowest state whose predicted busy fraction
+    ``demand * f_max / f`` stays under ``target`` — falling back to the
+    top state when even that is saturated.  This is the governor that
+    traces the nontrivial edge of fig_energy's Pareto frontier.
+    """
+
+    name = "headroom"
+
+    def __init__(
+        self,
+        frequencies: Sequence[float],
+        tau: float = 10e-3,
+        target: float = 0.85,
+    ):
+        if not 0 < target <= 1:
+            raise ValueError(f"target must be in (0, 1], got {target}")
+        self.frequencies = tuple(frequencies)
+        self.max_frequency = self.frequencies[-1]
+        self.target = float(target)
+        self._ewma = _UtilizationEWMA(tau)
+        self._frequency = self.max_frequency
+
+    @property
+    def demand(self) -> float:
+        """Estimated busy fraction the workload would produce at the top
+        state (frequency-normalised utilization)."""
+        return self._ewma.utilization
+
+    def initial_frequency(self) -> float:
+        return self._frequency
+
+    def decide(self, now: float, busy_time: float) -> float:
+        # The window since the last decision ran entirely at the frequency
+        # chosen then (frequency only changes at decisions), so normalise
+        # its busy fraction by that clock before folding it in.
+        raw = self._ewma.observe(
+            now, busy_time, scale=self._frequency / self.max_frequency
+        )
+        for frequency in self.frequencies:
+            if raw * self.max_frequency / frequency <= self.target:
+                self._frequency = frequency
+                return frequency
+        self._frequency = self.max_frequency
+        return self._frequency
+
+
+GOVERNORS = {
+    FixedGovernor.name: FixedGovernor,
+    RaceToIdleGovernor.name: RaceToIdleGovernor,
+    HeadroomGovernor.name: HeadroomGovernor,
+}
+
+
+def make_governor(name: str, frequencies: Sequence[float], **params):
+    """Instantiate a registered governor over the given frequency states."""
+    try:
+        cls = GOVERNORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown governor {name!r}; expected one of {sorted(GOVERNORS)}"
+        ) from None
+    return cls(frequencies, **params)

@@ -32,8 +32,9 @@ def build_server(
 
     ``runtime`` carries non-serialisable per-run objects; which keys are
     accepted depends on the kind (``cost_model`` / ``real_compute`` /
-    ``fault_plan`` / ``sla`` / ``memory`` / ``policies`` for batchmaker —
-    an explicit ``policies`` bundle overrides the spec's policy names).
+    ``fault_plan`` / ``sla`` / ``memory`` / ``energy`` / ``policies`` for
+    batchmaker — an explicit ``policies`` bundle overrides the spec's
+    policy names).
     """
     builder = _BUILDERS.get(spec.kind)
     if builder is None:  # unreachable: ServerSpec validates kind
@@ -42,6 +43,11 @@ def build_server(
         raise ValueError(
             f"memory specs require the batchmaker engine, not {spec.kind!r}: "
             "the graph-batching baselines have no per-subgraph state to account"
+        )
+    if spec.energy is not None and spec.kind != "batchmaker":
+        raise ValueError(
+            f"energy specs require the batchmaker engine, not {spec.kind!r}: "
+            "the graph-batching baselines have no per-device joule accounting"
         )
     server = builder(spec, loop, runtime)
     if runtime:
@@ -76,6 +82,11 @@ def _build_batchmaker(spec, loop, runtime):
         from repro.gpu.memory import MemorySpec
 
         memory = MemorySpec.from_dict(spec.memory)
+    energy = runtime.pop("energy", None)
+    if energy is None and spec.energy:
+        from repro.gpu.energy import EnergySpec
+
+        energy = EnergySpec.from_dict(spec.energy)
     return BatchMakerServer(
         make_model(spec.model, **spec.model_args),
         config=config,
@@ -87,6 +98,7 @@ def _build_batchmaker(spec, loop, runtime):
         fault_plan=runtime.pop("fault_plan", None),
         sla=sla,
         memory=memory,
+        energy=energy,
         **_named(spec),
     )
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.config import BatchingConfig
+from repro.gpu.energy import EnergySpec
 from repro.gpu.memory import DEFAULT_STATE_BYTES, MemorySpec
 from repro.registry.specs import ClusterSpec, ServeSpec, ServerSpec
 
@@ -241,6 +242,82 @@ def fixed_tree_ideal_spec(
     )
 
 
+def v100_energy_spec(
+    frequencies=(0.6, 0.8, 1.0), governor: str = "race_to_idle"
+) -> EnergySpec:
+    """V100-class energy envelope: 50 W idle, 250 W active at full clock,
+    three DVFS states (kernel time scales 1/f, dynamic power f^3 — the
+    fig_energy frontier's knob)."""
+    return EnergySpec(
+        idle_watts=50.0,
+        active_watts=250.0,
+        frequencies=frequencies,
+        governor=governor,
+    )
+
+
+def eco_energy_spec() -> EnergySpec:
+    """A low-power inference device (CPU/edge-accelerator class): 10 W
+    idle, 60 W active, no DVFS — pair it with ``latency_scale`` in a
+    heterogeneous fleet."""
+    return EnergySpec(idle_watts=10.0, active_watts=60.0)
+
+
+def lstm_energy_spec(
+    frequencies=(0.6, 0.8, 1.0),
+    governor: str = "race_to_idle",
+    max_batch: int = 512,
+    num_gpus: int = 1,
+) -> ServerSpec:
+    """The chain-LSTM BatchMaker with joule accounting and DVFS armed —
+    the fig_energy workhorse.  ``governor="fixed"`` pins the max clock
+    (the race-to-idle comparison baseline)."""
+    return lstm_batchmaker_spec(max_batch=max_batch, num_gpus=num_gpus).replace(
+        energy=v100_energy_spec(frequencies, governor).to_dict(),
+        name=f"BatchMaker ({governor})",
+    )
+
+
+def lstm_hetero_cluster_spec(
+    eco_replicas: int = 1,
+    v100_replicas: int = 2,
+    router: str = "cheapest_energy",
+    seed: int = 0,
+    bucket_width: int = 32,
+    autoscaler: Optional[Dict] = None,
+) -> ClusterSpec:
+    """A heterogeneous LSTM fleet: cheap slow ``eco`` devices (declared
+    first, so class-affinity routing keeps short requests there) next to
+    full-power ``v100`` replicas, with per-class joule accounting — the
+    replica-mix sweep's template."""
+    classes = [
+        {
+            "name": "eco",
+            "replicas": eco_replicas,
+            "latency_scale": 3.0,
+            "energy": eco_energy_spec().to_dict(),
+        },
+        {
+            "name": "v100",
+            "replicas": v100_replicas,
+            "energy": v100_energy_spec().to_dict(),
+        },
+    ]
+    router_params = (
+        {"bucket_width": bucket_width} if router == "class_affinity" else {}
+    )
+    return ClusterSpec(
+        replica=lstm_batchmaker_spec(),
+        num_replicas=eco_replicas + v100_replicas,
+        router=router,
+        router_params=router_params,
+        seed=seed,
+        autoscaler=autoscaler,
+        device_classes=classes,
+        name=f"BatchMaker hetero {eco_replicas}eco+{v100_replicas}v100 ({router})",
+    )
+
+
 def lstm_cluster_spec(
     num_replicas: int = 2,
     router: str = "round_robin",
@@ -340,6 +417,10 @@ def all_cluster_specs() -> Dict[str, ClusterSpec]:
         specs[f"cluster_lstm_{router}"] = lstm_cluster_spec(router=router)
     specs["cluster_seq2seq"] = seq2seq_cluster_spec()
     specs["cluster_seq2seq_dynamic"] = seq2seq_dynamic_cluster_spec()
+    specs["cluster_lstm_hetero_cheapest_energy"] = lstm_hetero_cluster_spec()
+    specs["cluster_lstm_hetero_class_affinity"] = lstm_hetero_cluster_spec(
+        router="class_affinity"
+    )
     return specs
 
 
@@ -359,4 +440,6 @@ def all_fig_specs() -> Dict[str, ServerSpec]:
         "timeout_ablation_mxnet": timeout_padded_spec(),
         "fig_memory_aware": seq2seq_dynamic_spec(),
         "fig_memory_oblivious": seq2seq_dynamic_spec(memory_aware=False),
+        "fig_energy_race_to_idle": lstm_energy_spec(),
+        "fig_energy_fixed": lstm_energy_spec(governor="fixed"),
     }

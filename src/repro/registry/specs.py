@@ -57,6 +57,12 @@ class ServerSpec:
         device model — the bit-identity-guaranteed path.  A runtime
         ``memory=`` override passed to ``build_server`` wins over this
         field.
+    energy:
+        ``EnergySpec.to_dict()`` form (batchmaker only): idle/active power,
+        DVFS frequency states and the governor that drives them (see
+        :mod:`repro.gpu.energy`); None means the energy-blind engine — the
+        bit-identity-guaranteed path.  A runtime ``energy=`` override
+        passed to ``build_server`` wins over this field.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class ServerSpec:
         params: Optional[Dict[str, Any]] = None,
         sla: Optional[Dict[str, Any]] = None,
         memory: Optional[Dict[str, Any]] = None,
+        energy: Optional[Dict[str, Any]] = None,
     ):
         if kind not in KINDS:
             raise ValueError(f"unknown server kind {kind!r} (have: {KINDS})")
@@ -86,6 +93,7 @@ class ServerSpec:
         self.params = dict(params or {})
         self.sla = dict(sla) if sla is not None else None
         self.memory = dict(memory) if memory is not None else None
+        self.energy = dict(energy) if energy is not None else None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -99,6 +107,7 @@ class ServerSpec:
             "params": dict(self.params),
             "sla": dict(self.sla) if self.sla is not None else None,
             "memory": dict(self.memory) if self.memory is not None else None,
+            "energy": dict(self.energy) if self.energy is not None else None,
         }
 
     @classmethod
@@ -114,6 +123,7 @@ class ServerSpec:
             params=data.get("params"),
             sla=data.get("sla"),
             memory=data.get("memory"),
+            energy=data.get("energy"),
         )
 
     def replace(self, **changes: Any) -> "ServerSpec":
@@ -140,9 +150,10 @@ class ClusterSpec:
     Parameters
     ----------
     replica:
-        The spec every replica is built from (the cluster is homogeneous;
-        heterogeneity would break length-bucketed routing's premise that
-        any replica can serve any bucket equally).
+        The spec every replica is built from.  Without ``device_classes``
+        the cluster is homogeneous; with them, replicas are built from the
+        same spec re-calibrated per class (cost-model tables, latency
+        scale, energy envelope).
     num_replicas:
         Initial replica count (the autoscaler may add or drain replicas
         at runtime, within its configured bounds).
@@ -175,6 +186,25 @@ class ClusterSpec:
         (``"memory_reject"``).  Routing by free memory additionally needs
         the replica spec itself to carry a ``memory`` field — without one
         every replica reports infinite free bytes and this is inert.
+    energy:
+        ``EnergySpec.to_dict()`` form applied as the *default* energy
+        envelope of every batchmaker replica that does not carry its own
+        ``energy`` field (a device class's ``energy`` entry wins over
+        this).  None leaves replicas exactly as their spec declares them —
+        the bit-identity-guaranteed path.
+    device_classes:
+        Heterogeneous fleet declaration: a list of dicts, one per device
+        class, each with ``name`` (unique), ``replicas`` (how many of the
+        initial fleet are this class), and optionally ``latency_scale``
+        (uniform slowdown of the replica's calibrated cost model, > 0,
+        e.g. 2.0 for a device half as fast), ``tables`` (cell-name ->
+        :data:`repro.gpu.costmodel.NAMED_TABLES` entry, re-calibrating
+        individual cells, e.g. ``{"lstm": "cpu_lstm_step"}``) and
+        ``energy`` (``EnergySpec.to_dict()`` form for this class).  Class
+        replica counts must sum to ``num_replicas``; initial replica ids
+        are assigned to classes in declaration order.  Autoscaler spawns
+        pick the class most under-provisioned relative to the declared
+        mix.  None (the default) keeps the homogeneous cluster.
     """
 
     def __init__(
@@ -188,11 +218,37 @@ class ClusterSpec:
         name: Optional[str] = None,
         sla: Optional[Dict[str, Any]] = None,
         memory: Optional[Dict[str, Any]] = None,
+        energy: Optional[Dict[str, Any]] = None,
+        device_classes: Optional[list] = None,
     ):
         if not isinstance(replica, ServerSpec):
             raise TypeError(f"replica must be a ServerSpec, got {type(replica)!r}")
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
+        if device_classes is not None:
+            device_classes = [dict(c) for c in device_classes]
+            if not device_classes:
+                raise ValueError("device_classes must be non-empty when given")
+            names = [c.get("name") for c in device_classes]
+            if any(not isinstance(n, str) or not n for n in names):
+                raise ValueError("every device class needs a non-empty name")
+            if len(set(names)) != len(names):
+                raise ValueError(f"device class names must be unique, got {names}")
+            counts = [int(c.get("replicas", 0)) for c in device_classes]
+            if any(n < 1 for n in counts):
+                raise ValueError("every device class needs replicas >= 1")
+            if sum(counts) != int(num_replicas):
+                raise ValueError(
+                    f"device class replicas {counts} must sum to "
+                    f"num_replicas={num_replicas}"
+                )
+            for c in device_classes:
+                scale = c.get("latency_scale", 1.0)
+                if not scale > 0:
+                    raise ValueError(
+                        f"latency_scale must be positive, got {scale} "
+                        f"for class {c['name']!r}"
+                    )
         self.replica = replica
         self.num_replicas = int(num_replicas)
         self.router = router
@@ -202,6 +258,8 @@ class ClusterSpec:
         self.name = name
         self.sla = dict(sla) if sla is not None else None
         self.memory = dict(memory) if memory is not None else None
+        self.energy = dict(energy) if energy is not None else None
+        self.device_classes = device_classes
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -214,6 +272,12 @@ class ClusterSpec:
             "name": self.name,
             "sla": dict(self.sla) if self.sla is not None else None,
             "memory": dict(self.memory) if self.memory is not None else None,
+            "energy": dict(self.energy) if self.energy is not None else None,
+            "device_classes": (
+                [dict(c) for c in self.device_classes]
+                if self.device_classes is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -228,6 +292,8 @@ class ClusterSpec:
             name=data.get("name"),
             sla=data.get("sla"),
             memory=data.get("memory"),
+            energy=data.get("energy"),
+            device_classes=data.get("device_classes"),
         )
 
     def replace(self, **changes: Any) -> "ClusterSpec":

@@ -52,6 +52,7 @@ RETRY_BACKOFF = "retry.backoff"    # span: failure -> resubmission window
 DEVICE_FAILED = "device.failed"
 SCHED_BATCH_FORMED = "sched.batch_formed"
 SCHED_EVICT = "sched.evict"
+DVFS_FREQUENCY = "dvfs.frequency"  # governor changed a device's clock state
 CLUSTER_ROUTE = "cluster.route"
 CLUSTER_REROUTE = "cluster.reroute"
 REPLICA_SPAWN = "replica.spawn"

@@ -13,7 +13,7 @@ from typing import Any, List, Optional, Tuple
 from repro.metrics.latency import LatencyStats
 from repro.metrics.summary import RunSummary
 from repro.server import InferenceServer
-from repro.workload.arrivals import PoissonArrivals
+from repro.workload.arrivals import make_arrivals
 
 
 class RunResult:
@@ -33,11 +33,14 @@ class RunResult:
 
 
 class LoadGenerator:
-    """Submit ``num_requests`` Poisson arrivals and measure the outcome.
+    """Submit ``num_requests`` arrivals and measure the outcome.
 
-    ``warmup_fraction`` of the earliest-arriving requests are excluded from
-    the statistics (they see an empty system); throughput is measured over
-    the finish-time span of the measured requests.
+    ``arrivals`` selects the registered arrival process (``poisson``, the
+    paper's default, or ``bursty`` / ``diurnal``; ``arrival_params`` are
+    forwarded to its constructor).  ``warmup_fraction`` of the
+    earliest-arriving requests are excluded from the statistics (they see
+    an empty system); throughput is measured over the finish-time span of
+    the measured requests.
     """
 
     def __init__(
@@ -46,6 +49,8 @@ class LoadGenerator:
         num_requests: int,
         seed: int = 0,
         warmup_fraction: float = 0.1,
+        arrivals: str = "poisson",
+        arrival_params: Optional[dict] = None,
     ):
         if num_requests < 1:
             raise ValueError("num_requests must be >= 1")
@@ -55,6 +60,10 @@ class LoadGenerator:
         self.num_requests = num_requests
         self.seed = seed
         self.warmup_fraction = warmup_fraction
+        self.arrivals = arrivals
+        self.arrival_params = dict(arrival_params or {})
+        # Fail fast on an unknown process or bad knobs.
+        make_arrivals(arrivals, rate, seed=seed, **self.arrival_params)
 
     def plan(self, dataset: Any) -> List[Tuple[float, Any]]:
         """The exact ``(arrival_time, payload)`` sequence :meth:`run` would
@@ -67,7 +76,9 @@ class LoadGenerator:
         comparison (same seed -> same payload at the same offset in both
         worlds).
         """
-        arrivals = PoissonArrivals(self.rate, seed=self.seed)
+        arrivals = make_arrivals(
+            self.arrivals, self.rate, seed=self.seed, **self.arrival_params
+        )
         times = arrivals.times(self.num_requests)
         return [(when, dataset.sample_one()) for when in times]
 
@@ -113,6 +124,16 @@ class LoadGenerator:
                 sum(1 for r in rejected if r.request_id >= warmup_cutoff)
             )
             extras["retries"] = float(retries)
+        joules = getattr(server, "energy_joules", None)
+        if joules is not None:
+            total = joules()
+            if total > 0:
+                # Integrated fleet energy at drain, plus the per-request
+                # figure energy sweeps plot against p99 (whole-run joules
+                # over measured requests — idle power is a real cost of
+                # serving the measured traffic).
+                extras["energy_joules"] = total
+                extras["joules_per_request"] = total / len(measured)
         summary = RunSummary(
             system=server.name,
             offered_rate=self.rate,

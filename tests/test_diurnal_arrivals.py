@@ -1,0 +1,140 @@
+"""Tests for the diurnal (sinusoidally modulated MMPP) arrival process and
+the arrival-process registry."""
+
+import numpy as np
+import pytest
+
+from repro.registry.presets import lstm_batchmaker_spec
+from repro.registry import build_server
+from repro.workload import LoadGenerator, SequenceDataset
+from repro.workload.arrivals import (
+    ARRIVALS,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+
+
+class TestDiurnalArrivals:
+    def test_mean_rate_preserved(self):
+        """Thinning by a function whose mean over a period is 1/(1+a)
+        against a base at rate*(1+a): the long-run average rate is the
+        nominal rate by construction.  Property-tested over whole periods."""
+        arrivals = DiurnalArrivals(rate=2000, seed=0, period=1.0)
+        times = arrivals.times(40000)
+        assert times[-1] == pytest.approx(20.0, rel=0.15)
+
+    def test_times_strictly_increasing(self):
+        times = DiurnalArrivals(rate=500, seed=1, period=0.5).times(1000)
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_seeded_determinism(self):
+        a = DiurnalArrivals(rate=1000, seed=9, period=0.5).times(200)
+        b = DiurnalArrivals(rate=1000, seed=9, period=0.5).times(200)
+        assert a == b
+        c = DiurnalArrivals(rate=1000, seed=10, period=0.5).times(200)
+        assert a != c
+
+    def test_prefix_determinism(self):
+        """Asking for more arrivals extends the sequence, never rewrites
+        it: times(n) is a prefix of times(2n) (the candidate stream and
+        the thinning draws are both prefix-stable)."""
+        arrivals = DiurnalArrivals(rate=1000, seed=4, period=0.5)
+        short = arrivals.times(100)
+        long = DiurnalArrivals(rate=1000, seed=4, period=0.5).times(200)
+        assert long[:100] == short
+
+    def test_zero_amplitude_degenerates_to_mmpp(self):
+        """amplitude=0: the keep probability is identically 1 and the base
+        runs at the nominal rate — bit-identical to plain BurstyArrivals."""
+        diurnal = DiurnalArrivals(rate=800, seed=3, amplitude=0.0).times(500)
+        bursty = BurstyArrivals(rate=800, seed=3).times(500)
+        assert diurnal == bursty
+
+    def test_peak_trough_modulation_visible(self):
+        """Arrival counts around the sinusoid's peak must clearly exceed
+        counts around its trough (that's the diurnal swing)."""
+        period = 1.0
+        arrivals = DiurnalArrivals(
+            rate=2000, seed=5, period=period, amplitude=0.8
+        )
+        times = np.asarray(arrivals.times(30000))
+        phase = (times % period) / period
+        # Peak at phase 0.25 (sin max), trough at 0.75 (sin min).
+        peak = np.sum((phase > 0.15) & (phase < 0.35))
+        trough = np.sum((phase > 0.65) & (phase < 0.85))
+        assert peak > 3 * trough
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate=0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate=100, period=0.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate=100, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate=100, amplitude=-0.1)
+        with pytest.raises(ValueError, match="calm-state"):
+            # Bad MMPP knobs surface eagerly, not at first times() call.
+            DiurnalArrivals(rate=100, burst_factor=10.0, burst_fraction=0.5)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate=100).times(-1)
+        assert DiurnalArrivals(rate=100).times(0) == []
+
+
+class TestArrivalsRegistry:
+    def test_registry_contents(self):
+        assert ARRIVALS == {
+            "poisson": PoissonArrivals,
+            "bursty": BurstyArrivals,
+            "diurnal": DiurnalArrivals,
+        }
+
+    def test_make_arrivals_builds_and_forwards_params(self):
+        arrivals = make_arrivals("diurnal", 500.0, seed=2, period=0.25)
+        assert isinstance(arrivals, DiurnalArrivals)
+        assert arrivals.period == 0.25
+        assert make_arrivals("poisson", 100.0).rate == 100.0
+
+    def test_make_arrivals_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            make_arrivals("lunar", 100.0)
+
+    def test_loadgen_validates_arrivals_eagerly(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            LoadGenerator(rate=100.0, num_requests=10, arrivals="lunar")
+        with pytest.raises(ValueError):
+            LoadGenerator(
+                rate=100.0,
+                num_requests=10,
+                arrivals="diurnal",
+                arrival_params={"amplitude": 2.0},
+            )
+
+    def test_loadgen_serves_diurnal_end_to_end(self):
+        server = build_server(lstm_batchmaker_spec(max_batch=64))
+        generator = LoadGenerator(
+            rate=2000.0,
+            num_requests=300,
+            seed=7,
+            arrivals="diurnal",
+            arrival_params={"period": 0.25, "amplitude": 0.6},
+        )
+        result = generator.run(server, SequenceDataset(seed=1))
+        assert len(server.finished) == 300
+        assert result.summary.p99_ms > 0
+
+    def test_loadgen_plan_matches_process(self):
+        """The plan's arrival times are exactly the named process's — the
+        sim/live parity contract extends to the new process."""
+        generator = LoadGenerator(
+            rate=1000.0,
+            num_requests=50,
+            seed=11,
+            arrivals="diurnal",
+            arrival_params={"period": 0.5},
+        )
+        plan = generator.plan(SequenceDataset(seed=1))
+        expected = DiurnalArrivals(1000.0, seed=11, period=0.5).times(50)
+        assert [when for when, _ in plan] == expected

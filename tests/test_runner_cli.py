@@ -34,7 +34,8 @@ class TestRunnerCLI:
         assert set(runner.EXPERIMENTS) == {
             "fig3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
             "fig13", "fig14", "fig15", "fig_cluster", "fig_faults",
-            "fig_slo", "fig_memory", "fig_trace", "ablations", "summary",
+            "fig_slo", "fig_memory", "fig_energy", "fig_trace",
+            "ablations", "summary",
         }
 
     def test_fig3_quick(self, capsys):
